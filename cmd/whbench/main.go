@@ -1,0 +1,53 @@
+// Command whbench regenerates the paper's evaluation: every table and
+// figure (plus the ablation studies) as textual reports comparing the
+// model against the published numbers.
+//
+// Usage:
+//
+//	whbench              # run everything
+//	whbench -exp fig2c   # run one experiment
+//	whbench -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"warehousesim/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whbench: ")
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		titles := experiments.Titles()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-14s %s\n", id, titles[id])
+		}
+		return
+	}
+
+	if *exp != "" {
+		rep, err := experiments.Run(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+		return
+	}
+
+	reps, err := experiments.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range reps {
+		fmt.Println(rep)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,73 @@
+// Command whcalib fits the workload demand profiles against the paper's
+// Figure 2(c) relative-performance matrix and prints the fitted
+// constants as Go literals ready to be frozen into
+// internal/workload/profiles.go (see DESIGN.md §2, "Calibration").
+//
+// Usage:
+//
+//	whcalib [-samples N] [-sweeps N] [-seed S] [-workload name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"warehousesim/internal/calib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whcalib: ")
+	samples := flag.Int("samples", 30000, "random search probes per workload")
+	sweeps := flag.Int("sweeps", 400, "coordinate-descent sweeps")
+	seed := flag.Uint64("seed", 20080621, "search seed")
+	only := flag.String("workload", "", "fit a single workload (default: all)")
+	evalOnly := flag.Bool("eval", false, "evaluate the frozen profiles instead of fitting")
+	flag.Parse()
+
+	tasks := calib.SuiteTasks()
+	if *evalOnly {
+		for _, t := range tasks {
+			rel, base, err := calib.RelativePerf(t.Template)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("// %s (frozen): srvr1 perf %.4g\n", t.Template.Name, base)
+			fmt.Print(calib.FormatComparison(t.Targets, rel))
+			fmt.Println()
+		}
+		return
+	}
+	if *only != "" {
+		t, err := calib.TaskFor(*only)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks = []calib.Task{t}
+	}
+
+	for _, t := range tasks {
+		res, err := calib.Fit(t, *samples, *sweeps, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := res.Profile
+		fmt.Printf("// %s: RMSLE %.3f, srvr1 perf %.4g\n", p.Name, res.RMSLE, res.BasePerf)
+		fmt.Print(calib.FormatComparison(t.Targets, res.Model))
+		fmt.Printf("CPURefSec:         %.4g,\n", p.CPURefSec)
+		fmt.Printf("DiskOps:           %.4g,\n", p.DiskOps)
+		if t.WriteHeavy {
+			fmt.Printf("DiskWriteBytes:    %.4g,\n", p.DiskWriteBytes)
+		} else {
+			fmt.Printf("DiskReadBytes:     %.4g,\n", p.DiskReadBytes)
+		}
+		fmt.Printf("NetBytes:          %.4g,\n", p.NetBytes)
+		fmt.Printf("CacheWorkingSetMB: %.4g,\n", p.CacheWorkingSetMB)
+		fmt.Printf("CacheMissPenalty:  %.4g,\n", p.CacheMissPenalty)
+		fmt.Printf("CoreScalingBeta:   %.4g,\n", p.CoreScalingBeta)
+		fmt.Println()
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,106 @@
+// Command whcost explores the cost model: per-server hardware and
+// burdened power-and-cooling dollars under adjustable burdening factors,
+// electricity tariffs and activity factors (§2.2, Figure 1).
+//
+// Usage:
+//
+//	whcost -system srvr2
+//	whcost -system emb1 -tariff 170 -af 0.9
+//	whcost -system N2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"warehousesim/internal/core"
+	"warehousesim/internal/cost"
+	"warehousesim/internal/metrics"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whcost: ")
+	system := flag.String("system", "srvr1", "platform or unified design (srvr1..emb2, N1, N2)")
+	tariff := flag.Float64("tariff", 100, "electricity tariff $/MWh (paper range 50-170)")
+	k1 := flag.Float64("k1", 1.33, "power-delivery infrastructure factor K1")
+	l1 := flag.Float64("l1", 0.8, "cooling electricity ratio L1")
+	k2 := flag.Float64("k2", 0.667, "cooling capital factor K2")
+	af := flag.Float64("af", power.DefaultActivityFactor, "activity factor (0.5-1.0)")
+	years := flag.Float64("years", 3, "depreciation cycle")
+	flag.Parse()
+
+	pm, err := power.NewModel(*af)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc := cost.PCParams{K1: *k1, L1: *l1, K2: *k2, TariffUSDPerMWh: *tariff, Years: *years}
+	if err := pc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	model := cost.Model{Power: pm, PC: pc}
+
+	var srv platform.Server
+	var rack platform.Rack
+	switch *system {
+	case "N1", "N2":
+		d := core.NewN1()
+		if *system == "N2" {
+			d = core.NewN2()
+		}
+		r, err := d.Resolve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, rack = r.Server, r.Rack
+	default:
+		s, ok := platform.ByName(*system)
+		if !ok {
+			log.Fatalf("unknown system %q", *system)
+		}
+		srv, rack = s, platform.DefaultRack()
+	}
+
+	b := model.ServerBreakdown(srv, rack)
+	fmt.Printf("system %s in %s (%d servers/rack)\n", *system, rack.Name, rack.ServersPerRack)
+	fmt.Printf("burden multiplier %.4f, tariff $%.0f/MWh, AF %.2f, %g years\n\n",
+		pc.BurdenMultiplier(), pc.TariffUSDPerMWh, pm.ActivityFactor, pc.Years)
+	fmt.Printf("%-12s %10s %14s\n", "component", "hw $", "p&c $")
+	rows := []struct {
+		name   string
+		hw, pc float64
+	}{
+		{"cpu", b.CPUHW, b.CPUPC},
+		{"memory", b.MemHW, b.MemPC},
+		{"disk", b.DiskHW, b.DiskPC},
+		{"board", b.BoardHW, b.BoardPC},
+		{"fans", b.FanHW, b.FanPC},
+		{"flash", b.FlashHW, b.FlashPC},
+		{"rack share", b.RackHW, b.RackPC},
+	}
+	for _, row := range rows {
+		if row.hw == 0 && row.pc == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %10.2f %14.2f\n", row.name, row.hw, row.pc)
+	}
+	fmt.Printf("%-12s %10.2f %14.2f\n", "TOTAL", b.HardwareUSD(), b.PowerCoolingUSD())
+	fmt.Printf("\nTCO per server: $%.0f over %g years\n", b.TotalUSD(), pc.Years)
+
+	fr := b.Fractions()
+	fmt.Printf("\nlargest shares: ")
+	printed := 0
+	for _, k := range metrics.SortedKeys(fr) {
+		if fr[k] >= 0.15 {
+			fmt.Printf("%s %.0f%%  ", k, fr[k]*100)
+			printed++
+		}
+	}
+	if printed == 0 {
+		fmt.Printf("(none above 15%%)")
+	}
+	fmt.Println()
+}

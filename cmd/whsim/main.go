@@ -1,0 +1,102 @@
+// Command whsim evaluates a single (design, workload) pair and prints
+// the operating point: sustained performance under QoS, latency,
+// per-station utilization, and the cost metrics.
+//
+// Usage:
+//
+//	whsim -system emb1 -workload websearch
+//	whsim -system N2 -workload ytube
+//	whsim -system desk -workload webmail -des   # discrete-event run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"warehousesim/internal/cluster"
+	"warehousesim/internal/core"
+	"warehousesim/internal/metrics"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+func designByName(name string) (core.Design, error) {
+	switch name {
+	case "N1":
+		return core.NewN1(), nil
+	case "N2":
+		return core.NewN2(), nil
+	}
+	if s, ok := platform.ByName(name); ok {
+		return core.BaselineDesign(s), nil
+	}
+	names := []string{"N1", "N2"}
+	for _, s := range platform.All() {
+		names = append(names, s.Name)
+	}
+	return core.Design{}, fmt.Errorf("unknown system %q (known: %s)", name, strings.Join(names, ", "))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whsim: ")
+	system := flag.String("system", "srvr1", "platform or unified design (srvr1..emb2, N1, N2)")
+	wl := flag.String("workload", "websearch", "benchmark name")
+	useDES := flag.Bool("des", false, "run the discrete-event simulation instead of the analytic solver")
+	seed := flag.Uint64("seed", 1, "simulation seed (DES only)")
+	measure := flag.Float64("measure", 120, "DES measurement window seconds")
+	flag.Parse()
+
+	d, err := designByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, ok := workload.ProfileByName(*wl)
+	if !ok {
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	ev := core.NewEvaluator()
+	ms, err := ev.Evaluate(d, []workload.Profile{p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ms[0]
+
+	fmt.Printf("system    %s\n", d.Name)
+	fmt.Printf("workload  %s\n", p.Name)
+	fmt.Printf("perf      %.4g %s (QoS met: %v)\n", m.Perf, m.Unit, m.QoSMet)
+	fmt.Printf("power     %.1f W consumed/server\n", m.PowerW)
+	fmt.Printf("inf-$     %.0f   p&c-$ %.0f   tco-$ %.0f (per server, 3yr)\n",
+		m.InfUSD, m.PCUSD, m.TCOUSD)
+	fmt.Printf("perf/W    %.4g   perf/inf-$ %.4g   perf/tco-$ %.4g\n",
+		m.Value(metrics.PerfPerWatt), m.Value(metrics.PerfPerInf), m.Value(metrics.PerfPerTCO))
+
+	if *useDES {
+		cfg, err := ev.ClusterConfig(d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := cluster.DefaultSimOptions()
+		opts.Seed = *seed
+		opts.MeasureSec = *measure
+		res, err := cfg.Simulate(workload.FixedGenerator{P: p}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ndiscrete-event validation:\n")
+		fmt.Printf("  throughput %.4g rps with %d clients (QoS met: %v)\n",
+			res.Throughput, res.Clients, res.QoSMet)
+		if !p.Batch {
+			fmt.Printf("  latency mean %.1f ms, p95 %.1f ms\n",
+				res.MeanLatency*1e3, res.P95Latency*1e3)
+		} else {
+			fmt.Printf("  job execution %.1f s\n", res.ExecTime)
+		}
+		fmt.Printf("  bottleneck %s; utilization cpu %.0f%% disk %.0f%% net %.0f%%\n",
+			res.Bottleneck, res.Utilization["cpu"]*100,
+			res.Utilization["disk"]*100, res.Utilization["net"]*100)
+	}
+}

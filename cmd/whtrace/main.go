@@ -1,0 +1,154 @@
+// Command whtrace works with the memory-access traces behind the
+// Figure 4 experiments: generate a trace from one of the real workload
+// engines (or a synthetic popularity model), save/load it in the
+// compact binary format, print its locality statistics, and replay it
+// through the two-level memory simulator.
+//
+// Usage:
+//
+//	whtrace -workload websearch -requests 5000 -out ws.trace
+//	whtrace -in ws.trace -stats
+//	whtrace -in ws.trace -replay -local 0.25 -policy lru
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"warehousesim/internal/memblade"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/trace"
+	"warehousesim/internal/workload"
+	"warehousesim/internal/workload/mapreduce"
+	"warehousesim/internal/workload/webmail"
+	"warehousesim/internal/workload/websearch"
+	"warehousesim/internal/workload/ytube"
+)
+
+func tracerFor(name string) (trace.PageTracer, workload.Profile, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, workload.Profile{}, fmt.Errorf("unknown workload %q", name)
+	}
+	switch p.Class {
+	case workload.Websearch:
+		e, err := websearch.New(websearch.DefaultConfig(), p)
+		return e, p, err
+	case workload.Webmail:
+		e, err := webmail.New(webmail.DefaultConfig(), p)
+		return e, p, err
+	case workload.Ytube:
+		e, err := ytube.New(ytube.DefaultConfig(), p)
+		return e, p, err
+	case workload.MapReduceWC:
+		e, err := mapreduce.NewWordCount(mapreduce.DefaultCorpusConfig(), p)
+		return e, p, err
+	case workload.MapReduceWR:
+		e, err := mapreduce.NewWrite(mapreduce.DefaultCorpusConfig(), 64, p)
+		return e, p, err
+	default:
+		return nil, p, fmt.Errorf("workload %q has no tracer", name)
+	}
+}
+
+func policyFor(name string) (memblade.Policy, error) {
+	switch name {
+	case "lru":
+		return memblade.LRU, nil
+	case "random":
+		return memblade.Random, nil
+	case "clock":
+		return memblade.Clock, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (lru, random, clock)", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whtrace: ")
+	wl := flag.String("workload", "websearch", "workload engine to trace")
+	requests := flag.Int("requests", 5000, "requests to trace")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	out := flag.String("out", "", "write the trace to this file")
+	in := flag.String("in", "", "read a trace from this file instead of generating")
+	showStats := flag.Bool("stats", true, "print locality statistics")
+	replay := flag.Bool("replay", false, "replay through the two-level memory simulator")
+	local := flag.Float64("local", 0.25, "local-memory fraction for -replay")
+	policy := flag.String("policy", "random", "replacement policy for -replay")
+	flag.Parse()
+
+	var tr *trace.PageTrace
+	var footprint int64
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.DecodePages(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		footprint = trace.AnalyzePages(tr).MaxPage + 1
+		fmt.Printf("loaded %s: %d requests, %d accesses\n", *in, tr.Requests(), len(tr.Accesses))
+	} else {
+		tracer, p, err := tracerFor(*wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tracing %d %s requests...\n", *requests, p.Name)
+		tr = trace.CollectPages(tracer, stats.NewRNG(*seed), *requests)
+		footprint = int64(p.MemFootprintMB * 1e6 / 4096)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.EncodePages(f, tr); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes, %.2f bytes/access)\n",
+			*out, info.Size(), float64(info.Size())/float64(len(tr.Accesses)))
+	}
+
+	if *showStats {
+		fmt.Println(trace.AnalyzePages(tr))
+	}
+
+	if *replay {
+		pol, err := policyFor(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := memblade.New(memblade.Config{
+			FootprintPages: footprint,
+			LocalFraction:  *local,
+			Policy:         pol,
+			Seed:           *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := memblade.Replay(sim, tr)
+		fmt.Printf("replay: local %.3g (%d pages, %s): miss rate %.2f%%, %.2f misses/request, %d writebacks\n",
+			*local, sim.Capacity(), pol, st.MissRate()*100, st.MissesPerRequest(), st.Writebacks)
+		for _, ic := range []memblade.Interconnect{memblade.PCIeX4(), memblade.CBF()} {
+			fmt.Printf("  %s stall per request: %.1f us\n",
+				ic.Name, st.MissesPerRequest()*ic.StallPerMissSec*1e6)
+		}
+	}
+}

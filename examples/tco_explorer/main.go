@@ -1,0 +1,74 @@
+// TCO explorer: sweep the burdened power-and-cooling model's external
+// parameters — electricity tariff and activity factor — and watch how
+// the platform ranking responds. The paper (§2.2) claims its results are
+// qualitatively stable across these ranges; this example lets you see
+// that directly, and also locates the tariff at which power-and-cooling
+// dollars overtake hardware dollars for each platform.
+//
+// Run with:
+//
+//	go run ./examples/tco_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warehousesim/internal/core"
+	"warehousesim/internal/cost"
+	"warehousesim/internal/metrics"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Perf/TCO-$ suite harmonic mean relative to srvr1,")
+	fmt.Println("by electricity tariff (rows) and platform (columns):")
+	fmt.Printf("%-10s", "tariff")
+	names := []string{"srvr2", "desk", "mobl", "emb1", "emb2"}
+	for _, n := range names {
+		fmt.Printf("%8s", n)
+	}
+	fmt.Println()
+
+	for _, tariff := range []float64{50, 75, 100, 135, 170} {
+		pc := cost.DefaultPCParams()
+		pc.TariffUSDPerMWh = tariff
+		ev := core.NewEvaluator()
+		ev.Cost = cost.Model{Power: power.DefaultModel(), PC: pc}
+		tbl, err := ev.EvaluateSuite(core.AllBaselines())
+		if err != nil {
+			log.Fatal(err)
+		}
+		hm := tbl.HMeanRelative(metrics.PerfPerTCO, "srvr1")
+		fmt.Printf("$%-3.0f/MWh  ", tariff)
+		for _, n := range names {
+			fmt.Printf("%7.2fx", hm[n])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntariff at which burdened P&C overtakes hardware cost:")
+	for _, s := range platform.All() {
+		crossover := -1.0
+		for tariff := 10.0; tariff <= 400; tariff += 5 {
+			pc := cost.DefaultPCParams()
+			pc.TariffUSDPerMWh = tariff
+			m := cost.Model{Power: power.DefaultModel(), PC: pc}
+			inf, pcUSD, _ := m.ServerTCO(s, platform.DefaultRack())
+			if pcUSD >= inf {
+				crossover = tariff
+				break
+			}
+		}
+		if crossover < 0 {
+			fmt.Printf("  %-7s never below $400/MWh\n", s.Name)
+			continue
+		}
+		fmt.Printf("  %-7s ~$%.0f/MWh\n", s.Name, crossover)
+	}
+	fmt.Println("\n(at the paper's default $100/MWh, P&C is already comparable to")
+	fmt.Println("hardware for the server platforms — its Figure 1 observation)")
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"warehousesim/internal/core"
+	"warehousesim/internal/platform"
+)
+
+func init() {
+	register("ext-datacenter", "Capstone — whole green-field datacenter TCO", runExtDatacenter)
+}
+
+// runExtDatacenter plans a complete green-field datacenter per design:
+// multi-workload pool sizing with scale-out overheads, availability
+// sparing, packaging density, a designed network fabric, diurnal energy
+// with consolidation, and floor space — every substrate in one number.
+func runExtDatacenter() (Report, error) {
+	r := Report{ID: "ext-datacenter", Title: "Capstone — whole green-field datacenter TCO"}
+	// A mid-size service mix: the load ~50 srvr1 servers sustain.
+	targets := map[string]float64{
+		"websearch": 800,
+		"webmail":   1800,
+		"ytube":     1800,
+		"mapred-wc": 0.2,
+		"mapred-wr": 0.17,
+	}
+	r.addf("service mix: websearch 800 rps, webmail 1800 rps, ytube 1800 rps,")
+	r.addf("mapreduce 0.2/0.17 jobs/s; 99.99%% availability, 4:1 fabric,")
+	r.addf("$2,400/rack-year floor space, diurnal consolidation, 3 years:")
+	r.addf("")
+	r.addf("%-8s %8s %7s %10s %9s %10s %9s %11s %9s", "design",
+		"servers", "racks", "server $", "fabric $", "P&C $", "space $", "TOTAL $", "vs srvr1")
+
+	ev := core.NewEvaluator()
+	var baseline float64
+	for _, d := range []core.Design{
+		core.BaselineDesign(platform.Srvr1()),
+		core.BaselineDesign(platform.Srvr2()),
+		core.BaselineDesign(platform.Desk()),
+		core.BaselineDesign(platform.Emb1()),
+		core.NewN1(),
+		core.NewN2(),
+	} {
+		plan, err := ev.PlanDatacenter(core.DefaultDatacenterSpec(d, targets))
+		if err != nil {
+			r.addf("%-8s cannot serve the mix: %v", d.Name, err)
+			continue
+		}
+		total := plan.TotalUSD()
+		if d.Name == "srvr1" {
+			baseline = total
+		}
+		rel := "-"
+		if baseline > 0 {
+			rel = pct(total / baseline)
+		}
+		r.addf("%-8s %8d %7d %10.0f %9.0f %10.0f %9.0f %11.0f %9s",
+			d.Name, plan.TotalServers, plan.Racks,
+			plan.ServerHardwareUSD, plan.FabricUSD,
+			plan.PowerCoolingUSD, plan.RealEstateUSD, total, rel)
+	}
+	r.addf("")
+	r.addf("the per-server advantage survives whole-datacenter pricing (N1/N2")
+	r.addf("at ~2/3 of srvr1's total), tempered by the webmail pool — the")
+	r.addf("workload the paper itself shows regressing on low-end platforms;")
+	r.addf("ext-hybrid shows per-pool design selection recovers the rest.")
+	return r, nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"table1", "fig1", "table2", "fig2ab", "fig2c", "fig3", "rackpower",
+		"fig4b", "fig4c", "table3", "fig5", "fig5alt",
+		"abl-activity", "abl-tariff", "abl-policy", "abl-cbf", "abl-flash", "abl-cooling",
+		"ext-memtech", "ext-flashdisk", "ext-scaleout", "ext-diurnal", "ext-hybrid",
+		"abl-querycache", "abl-locality", "ext-ensemble", "abl-realestate", "validate", "abl-coolingcredit", "ext-powerprov", "ext-fabric", "ext-availability", "ext-datacenter",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	titles := Titles()
+	for _, id := range ids {
+		if titles[id] == "" {
+			t.Errorf("experiment %q has no title", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Every experiment must be bit-for-bit reproducible (DESIGN.md §5).
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"fig1", "table2", "fig3", "fig4c", "abl-policy"} {
+		a := mustRun(t, id)
+		b := mustRun(t, id)
+		if a.String() != b.String() {
+			t.Errorf("%s: two runs differ", id)
+		}
+	}
+}
+
+func mustRun(t *testing.T, id string) Report {
+	t.Helper()
+	rep, err := Run(id)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id || len(rep.Lines) == 0 {
+		t.Fatalf("%s: empty report %+v", id, rep)
+	}
+	return rep
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	for _, id := range []string{"table1", "fig1", "table2", "fig2ab", "fig3", "rackpower", "fig4c", "abl-policy", "abl-cbf", "abl-flash"} {
+		rep := mustRun(t, id)
+		if !strings.Contains(rep.String(), rep.Title) {
+			t.Errorf("%s: title missing from render", id)
+		}
+	}
+}
+
+func TestFig1PinsInReport(t *testing.T) {
+	rep := mustRun(t, "fig1")
+	body := rep.String()
+	for _, pin := range []string{"5758", "2464", "1561", "3.6636"} {
+		if !strings.Contains(body, pin) {
+			t.Errorf("fig1 report missing pinned value %q\n%s", pin, body)
+		}
+	}
+}
+
+func TestTable2PinsInReport(t *testing.T) {
+	rep := mustRun(t, "table2")
+	body := rep.String()
+	for _, pin := range []string{"340", "3294", "849", "499", "in-order"} {
+		if !strings.Contains(body, pin) {
+			t.Errorf("table2 report missing %q", pin)
+		}
+	}
+}
+
+func TestFig3ReportsDensities(t *testing.T) {
+	rep := mustRun(t, "fig3")
+	body := rep.String()
+	for _, pin := range []string{"320", "1250", "40"} {
+		if !strings.Contains(body, pin) {
+			t.Errorf("fig3 report missing density %q", pin)
+		}
+	}
+}
+
+func TestFig4cCloseToPaper(t *testing.T) {
+	rep := mustRun(t, "fig4c")
+	body := rep.String()
+	// Both schemes must report a Perf/TCO gain (>=100%).
+	if !strings.Contains(body, "static") || !strings.Contains(body, "dynamic") {
+		t.Fatalf("schemes missing:\n%s", body)
+	}
+}
+
+func TestFig2cRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2c is heavyweight")
+	}
+	rep := mustRun(t, "fig2c")
+	if !strings.Contains(rep.String(), "HMean") {
+		t.Error("fig2c missing harmonic-mean rows")
+	}
+}
+
+func TestFig5HeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 is heavyweight")
+	}
+	rep := mustRun(t, "fig5")
+	body := rep.String()
+	// The abstract's 2X claim: N2's Perf/TCO hmean must render as >= 1.8x.
+	if !strings.Contains(body, "compaction: N1 320 systems/rack, N2 1250 systems/rack") {
+		t.Errorf("fig5 missing compaction line:\n%s", body)
+	}
+}
+
+func TestFig4bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4b builds all engines")
+	}
+	rep := mustRun(t, "fig4b")
+	body := rep.String()
+	for _, w := range []string{"websearch", "webmail", "ytube", "mapred-wc", "mapred-wr"} {
+		if !strings.Contains(body, w) {
+			t.Errorf("fig4b missing workload %s", w)
+		}
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table3 is heavyweight")
+	}
+	rep := mustRun(t, "table3")
+	body := rep.String()
+	for _, s := range []string{"remote-laptop", "remote-laptop+flash", "remote-laptop2+flash"} {
+		if !strings.Contains(body, s) {
+			t.Errorf("table3 missing storage row %s", s)
+		}
+	}
+}
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions are heavyweight")
+	}
+	for _, id := range []string{"ext-memtech", "ext-flashdisk", "ext-scaleout", "ext-diurnal", "ext-hybrid"} {
+		rep := mustRun(t, id)
+		if len(rep.Lines) < 3 {
+			t.Errorf("%s report too thin", id)
+		}
+	}
+}
+
+func TestExtHybridHeterogeneityWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight")
+	}
+	rep := mustRun(t, "ext-hybrid")
+	if !strings.Contains(rep.String(), "heterogeneity saves") {
+		t.Errorf("hybrid report lacks the savings line:\n%s", rep)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"warehousesim/internal/avail"
+	"warehousesim/internal/core"
+	"warehousesim/internal/fabric"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/scaleout"
+	"warehousesim/internal/workload"
+)
+
+func init() {
+	register("ext-fabric", "§5 extension — rack fabric for dense packaging", runExtFabric)
+	register("ext-availability", "§1 extension — software HA sparing costs", runExtAvailability)
+}
+
+// runExtFabric replaces the paper's flat per-server switch share with a
+// designed two-tier fabric and shows what the dense racks of §3.3
+// actually pay for networking.
+func runExtFabric() (Report, error) {
+	r := Report{ID: "ext-fabric", Title: "§5 extension — rack fabric for dense packaging"}
+	r.addf("two-tier rack fabric (48-port GbE edge, 10G aggregation):")
+	r.addf("%-10s %8s %8s %12s %12s %14s", "rack", "oversub",
+		"switches", "$/server", "W/server", "eff. Gbps/srv")
+	for _, rackSize := range []int{40, 320, 1250} {
+		for _, over := range []float64{1, 4, 8} {
+			cfg := fabric.DefaultConfig(rackSize)
+			cfg.Oversubscription = over
+			plan, err := fabric.Design(cfg)
+			if err != nil {
+				r.addf("%-10d %8.0f  infeasible", rackSize, over)
+				continue
+			}
+			r.addf("%-10d %8.0f %8d %12.0f %12.2f %14.2f",
+				rackSize, over, plan.EdgeSwitches,
+				plan.PerServerCostUSD(), plan.PerServerPowerW(),
+				plan.EffectiveServerGbps())
+		}
+	}
+	r.addf("")
+	r.addf("the paper's flat $69/server share prices edge downlinks only; a")
+	r.addf("designed fabric adds uplinks and aggregation (~$100-150/server at")
+	r.addf("4:1-8:1 oversub) — but crucially the per-server cost is nearly")
+	r.addf("FLAT across 40/320/1250-server racks, so the §3.3 compaction")
+	r.addf("survives honest networking.")
+	return r, nil
+}
+
+// runExtAvailability prices the "high availability in software" decision
+// (§1): more, smaller servers need proportionally fewer spares for the
+// same service availability — scale-out helps reliability economics too.
+func runExtAvailability() (Report, error) {
+	r := Report{ID: "ext-availability", Title: "§1 extension — software HA sparing costs"}
+	// Per-server availability: 2-year MTBF, 8-hour MTTR (auto-reimaged).
+	perServer, err := avail.ServerAvailability(2*8766, 8)
+	if err != nil {
+		return Report{}, err
+	}
+	const target = 0.9999
+	r.addf("spares for %.2f%% service availability (server MTBF 2y, MTTR 8h",
+		target*100)
+	r.addf("-> per-server availability %.4f); captures a websearch service", perServer)
+	r.addf("sized as in ext-scaleout:")
+	r.addf("%-8s %10s %9s %9s %12s %14s", "design", "capacity", "fleet", "spares", "overhead", "spare TCO $")
+
+	ev := core.NewEvaluator()
+	p := workload.WebsearchProfile()
+	const targetRPS = 1500.0
+	u := scaleout.TypicalScaleOut()
+	for _, d := range []core.Design{
+		core.BaselineDesign(platform.Srvr1()),
+		core.BaselineDesign(platform.Emb1()),
+		core.NewN2(),
+	} {
+		ms, err := ev.Evaluate(d, []workload.Profile{p})
+		if err != nil {
+			return Report{}, err
+		}
+		k, err := scaleout.ServersFor(targetRPS, ms[0].Perf, u)
+		if err != nil {
+			return Report{}, err
+		}
+		n, err := avail.ServersForTarget(k, perServer, target)
+		if err != nil {
+			return Report{}, err
+		}
+		resolved, err := d.Resolve()
+		if err != nil {
+			return Report{}, err
+		}
+		_, _, tco := resolved.ServerTCO(ev.Cost)
+		r.addf("%-8s %10d %9d %9d %12s %14.0f", d.Name, k, n, n-k,
+			pct(avail.SparingOverhead(n, k)), float64(n-k)*tco)
+	}
+	r.addf("")
+	r.addf("(bigger fleets need a smaller sparing *fraction* — the binomial")
+	r.addf(" tail tightens with n — and each spare is cheaper: scale-out")
+	r.addf(" makes software HA economical, the bet §1 describes)")
+	return r, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"warehousesim/internal/core"
+	"warehousesim/internal/metrics"
+	"warehousesim/internal/paper"
+)
+
+func init() {
+	register("fig2c", "Figure 2(c) — Perf / Perf-per-$ / Perf-per-W matrix", runFig2c)
+}
+
+// paperFig2cBlock returns the published block for one metric.
+func paperFig2cBlock(k metrics.Metric) map[string]map[string]float64 {
+	switch k {
+	case metrics.Perf:
+		return paper.Figure2cPerf
+	case metrics.PerfPerInf:
+		return paper.Figure2cPerfPerInf
+	case metrics.PerfPerWatt:
+		return paper.Figure2cPerfPerW
+	case metrics.PerfPerTCO:
+		return paper.Figure2cPerfPerTCO
+	default:
+		return nil
+	}
+}
+
+func runFig2c() (Report, error) {
+	r := Report{ID: "fig2c", Title: "Figure 2(c) — Perf / Perf-per-$ / Perf-per-W matrix"}
+	ev := core.NewEvaluator()
+	tbl, err := ev.EvaluateSuite(core.AllBaselines())
+	if err != nil {
+		return Report{}, err
+	}
+
+	systems := []string{"srvr2", "desk", "mobl", "emb1", "emb2"}
+	for _, k := range []metrics.Metric{metrics.Perf, metrics.PerfPerInf, metrics.PerfPerWatt, metrics.PerfPerTCO} {
+		rel := tbl.Relative(k, "srvr1")
+		pub := paperFig2cBlock(k)
+		r.addf("%s (relative to srvr1; model / paper):", k)
+		for _, w := range paper.Workloads {
+			row := "  " + pad(w, 10)
+			for _, s := range systems {
+				row += pad(pct(rel[w][s])+"/"+pct(pub[w][s]), 11)
+			}
+			r.Lines = append(r.Lines, row)
+		}
+		hm := tbl.HMeanRelative(k, "srvr1")
+		pubHM := paper.Figure2cHMean[k.String()]
+		row := "  " + pad("HMean", 10)
+		for _, s := range systems {
+			row += pad(pct(hm[s])+"/"+pct(pubHM[s]), 11)
+		}
+		r.Lines = append(r.Lines, row)
+		hdr := "  " + pad("", 10)
+		for _, s := range systems {
+			hdr += pad(s, 11)
+		}
+		r.Lines = append(r.Lines, hdr)
+		r.addf("")
+	}
+	return r, nil
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

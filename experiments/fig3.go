@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"warehousesim/internal/cooling"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
+)
+
+func init() {
+	register("fig3", "Figure 3 — packaging/cooling architectures", runFig3)
+	register("rackpower", "§3.2 — rack power comparison", runRackPower)
+}
+
+func runFig3() (Report, error) {
+	r := Report{ID: "fig3", Title: "Figure 3 — packaging/cooling architectures"}
+	r.addf("%-28s %10s %12s %14s", "design", "efficiency", "paper claim", "systems/rack")
+	claims := map[cooling.Design]string{
+		cooling.Conventional:         "1.0x (base)",
+		cooling.DualEntry:            "~2x",
+		cooling.AggregatedMicroblade: "~4x",
+	}
+	// Densities at the representative server power for each design:
+	// srvr-class 1U boxes, 75W mobile blades, emb-class microblades.
+	powerFor := map[cooling.Design]float64{
+		cooling.Conventional:         340,
+		cooling.DualEntry:            75,
+		cooling.AggregatedMicroblade: 30,
+	}
+	for _, d := range []cooling.Design{cooling.Conventional, cooling.DualEntry, cooling.AggregatedMicroblade} {
+		e := cooling.EnclosureFor(d)
+		r.addf("%-28s %10s %12s %14d", d, ratioX(e.EfficiencyVsConventional()),
+			claims[d], e.Density(powerFor[d]))
+	}
+	r.addf("")
+	r.addf("fan power needed per system (airflow model):")
+	r.addf("%-28s %10s %10s %10s", "design", "340W IT", "75W IT", "30W IT")
+	for _, d := range []cooling.Design{cooling.Conventional, cooling.DualEntry, cooling.AggregatedMicroblade} {
+		e := cooling.EnclosureFor(d)
+		r.addf("%-28s %9.1fW %9.2fW %9.2fW", d, e.FanPowerW(340), e.FanPowerW(75), e.FanPowerW(30))
+	}
+	return r, nil
+}
+
+func runRackPower() (Report, error) {
+	r := Report{ID: "rackpower", Title: "§3.2 — rack power comparison"}
+	rack := platform.DefaultRack()
+	srvr1 := power.RackNameplateW(platform.Srvr1(), rack)
+	emb1 := power.RackNameplateW(platform.Emb1(), rack)
+	r.addf("42U rack of 40 servers (nameplate):")
+	r.addf("  srvr1: %5.1f kW   (paper: 13.6 kW)", srvr1/1e3)
+	r.addf("  emb1:  %5.1f kW   (paper:  2.7 kW)", emb1/1e3)
+	r.addf("  ratio: %.1fx less power for emb1", srvr1/emb1)
+	return r, nil
+}

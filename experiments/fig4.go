@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"warehousesim/internal/cluster"
+	"warehousesim/internal/cost"
+	"warehousesim/internal/memblade"
+	"warehousesim/internal/paper"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/trace"
+	"warehousesim/internal/workload"
+	"warehousesim/internal/workload/mapreduce"
+	"warehousesim/internal/workload/webmail"
+	"warehousesim/internal/workload/websearch"
+	"warehousesim/internal/workload/ytube"
+)
+
+func init() {
+	register("fig4b", "Figure 4(b) — memory-blade slowdowns", runFig4b)
+	register("fig4c", "Figure 4(c) — memory provisioning efficiencies", runFig4c)
+}
+
+// traceRequests is the per-workload trace length replayed through the
+// two-level memory simulator. Long enough that the local memory fills
+// and capacity misses dominate cold misses.
+const traceRequests = 20000
+
+// pageTracers builds the engine-backed page tracers for the suite.
+// Engines run their real data structures; see each package.
+func pageTracers() (map[string]trace.PageTracer, error) {
+	out := map[string]trace.PageTracer{}
+
+	ws, err := websearch.New(websearch.DefaultConfig(), workload.WebsearchProfile())
+	if err != nil {
+		return nil, err
+	}
+	out["websearch"] = ws
+
+	wm, err := webmail.New(webmail.DefaultConfig(), workload.WebmailProfile())
+	if err != nil {
+		return nil, err
+	}
+	out["webmail"] = wm
+
+	yt, err := ytube.New(ytube.DefaultConfig(), workload.YtubeProfile())
+	if err != nil {
+		return nil, err
+	}
+	out["ytube"] = yt
+
+	corpus := mapreduce.DefaultCorpusConfig()
+	wc, err := mapreduce.NewWordCount(corpus, workload.MapReduceWCProfile())
+	if err != nil {
+		return nil, err
+	}
+	out["mapred-wc"] = wc
+
+	wr, err := mapreduce.NewWrite(corpus, 64, workload.MapReduceWRProfile())
+	if err != nil {
+		return nil, err
+	}
+	out["mapred-wr"] = wr
+	return out, nil
+}
+
+// memReplay replays a trace at one configuration and returns
+// steady-state misses per request: the first half of the trace warms the
+// local memory, only the second half is measured (cold misses would
+// otherwise mask the capacity behavior the experiment studies).
+func memReplay(tr *trace.PageTrace, footprintPages int64, localFrac float64, pol memblade.Policy) (float64, error) {
+	sim, err := memblade.New(memblade.Config{
+		FootprintPages: footprintPages,
+		LocalFraction:  localFrac,
+		Policy:         pol,
+		Seed:           7,
+	})
+	if err != nil {
+		return 0, err
+	}
+	half := len(tr.RequestEnds) / 2
+	split := tr.RequestEnds[half-1]
+	warm := &trace.PageTrace{Accesses: tr.Accesses[:split], RequestEnds: tr.RequestEnds[:half]}
+	measure := &trace.PageTrace{Accesses: tr.Accesses[split:], RequestEnds: make([]int, 0, len(tr.RequestEnds)-half)}
+	for _, e := range tr.RequestEnds[half:] {
+		measure.RequestEnds = append(measure.RequestEnds, e-split)
+	}
+	before := memblade.Replay(sim, warm)
+	after := memblade.Replay(sim, measure)
+	st := memblade.Stats{
+		Accesses: after.Accesses - before.Accesses,
+		Misses:   after.Misses - before.Misses,
+		Requests: after.Requests - before.Requests,
+	}
+	return st.MissesPerRequest(), nil
+}
+
+func runFig4b() (Report, error) {
+	r := Report{ID: "fig4b", Title: "Figure 4(b) — memory-blade slowdowns"}
+	tracers, err := pageTracers()
+	if err != nil {
+		return Report{}, err
+	}
+	emb1 := cluster.Config{Server: platform.Emb1()}
+
+	r.addf("slowdown vs all-local memory (model / paper where published);")
+	r.addf("access scale calibrated on the PCIe@25%%/random cell, other cells predicted:")
+	r.addf("%-10s %12s %12s %12s %12s %8s", "workload",
+		"pcie@25%", "cbf@25%", "pcie@12.5%", "cbf@12.5%", "lru@25%")
+
+	for _, p := range workload.SuiteProfiles() {
+		tracer := tracers[p.Name]
+		footprint := int64(p.MemFootprintMB * 1e6 / 4096)
+		rng := stats.NewRNG(11)
+		tr := trace.CollectPages(tracer, rng, traceRequests)
+
+		mpr25, err := memReplay(tr, footprint, 0.25, memblade.Random)
+		if err != nil {
+			return Report{}, err
+		}
+		mpr125, err := memReplay(tr, footprint, 0.125, memblade.Random)
+		if err != nil {
+			return Report{}, err
+		}
+		mprLRU, err := memReplay(tr, footprint, 0.25, memblade.LRU)
+		if err != nil {
+			return Report{}, err
+		}
+
+		service := emb1.MeanDemands(p).Total()
+		pub := paper.Figure4bSlowdown["pcie-x4"][p.Name]
+		// Calibrate the trace-to-full-memory-reference scale on the
+		// published PCIe@25% cell (DESIGN.md §2).
+		scale := 1.0
+		if mpr25 > 0 && pub > 0 {
+			scale = pub * service / (mpr25 * memblade.PCIeX4().StallPerMissSec)
+		}
+		slow := func(mpr float64, ic memblade.Interconnect) float64 {
+			s, err := memblade.Slowdown(memblade.Stats{Misses: int64(mpr * 1e6), Requests: 1e6},
+				ic, service, scale)
+			if err != nil {
+				return -1
+			}
+			return s
+		}
+		pcie25 := slow(mpr25, memblade.PCIeX4())
+		cbf25 := slow(mpr25, memblade.CBF())
+		pcie125 := slow(mpr125, memblade.PCIeX4())
+		cbf125 := slow(mpr125, memblade.CBF())
+		lru25 := slow(mprLRU, memblade.PCIeX4())
+
+		pubCBF := paper.Figure4bSlowdown["cbf"][p.Name]
+		r.addf("%-10s %5.1f%%/%4.1f%% %5.1f%%/%4.1f%% %11.1f%% %11.1f%% %7.1f%%",
+			p.Name, pcie25*100, pub*100, cbf25*100, pubCBF*100,
+			pcie125*100, cbf125*100, lru25*100)
+	}
+	r.addf("")
+	r.addf("paper text bounds: pcie@25%% <= 5%%, pcie@12.5%% <= 10%%, cbf@25%% ~1%%, cbf@12.5%% ~2.5%%")
+	return r, nil
+}
+
+func runFig4c() (Report, error) {
+	r := Report{ID: "fig4c", Title: "Figure 4(c) — memory provisioning efficiencies"}
+	m := cost.DefaultModel()
+	rack := platform.DefaultRack()
+	base := platform.Emb1()
+	baseInf, basePC, baseTCO := m.ServerTCO(base, rack)
+	basePwr := m.Power.ServerConsumed(base, rack).TotalW()
+
+	r.addf("emb1 baseline vs memory-sharing schemes (2%% assumed slowdown):")
+	r.addf("%-9s %12s %10s %12s %14s", "scheme", "Perf/Inf-$", "Perf/W", "Perf/TCO-$", "paper (I/W/T)")
+	for _, sc := range []memblade.Scheme{memblade.StaticScheme(), memblade.DynamicScheme()} {
+		srv, err := sc.Apply(base)
+		if err != nil {
+			return Report{}, err
+		}
+		inf, pc, tco := m.ServerTCO(srv, rack)
+		_ = pc
+		pwr := m.Power.ServerConsumed(srv, rack).TotalW()
+		perfFactor := 1 - sc.AssumedSlowdown
+		relInf := perfFactor / (inf / baseInf)
+		relW := perfFactor / (pwr / basePwr)
+		relTCO := perfFactor / (tco / baseTCO)
+		pub := paper.Figure4c[sc.Name]
+		r.addf("%-9s %12s %10s %12s   %s/%s/%s",
+			sc.Name, pct(relInf), pct(relW), pct(relTCO),
+			pct(pub["Perf/Inf-$"]), pct(pub["Perf/W"]), pct(pub["Perf/TCO-$"]))
+	}
+	r.addf("")
+	r.addf("(baseline P&C $%.0f; emb1 inf $%.0f)", basePC, baseInf)
+	return r, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"math"
+
+	"warehousesim/internal/core"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/scaleout"
+	"warehousesim/internal/workload"
+)
+
+func init() {
+	register("ext-hybrid", "Extension — heterogeneous fleet (best design per workload)", runExtHybrid)
+}
+
+// runExtHybrid sizes a datacenter serving all five benchmarks with
+// dedicated pools, comparing homogeneous fleets against a heterogeneous
+// fleet that picks the cheapest design per workload. The paper's webmail
+// regression on N1/N2 (§3.6) is exactly the case where heterogeneity
+// pays.
+func runExtHybrid() (Report, error) {
+	r := Report{ID: "ext-hybrid", Title: "Extension — heterogeneous fleet (best design per workload)"}
+	ev := core.NewEvaluator()
+	designs := []core.Design{
+		core.BaselineDesign(platform.Srvr1()),
+		core.BaselineDesign(platform.Srvr2()),
+		core.BaselineDesign(platform.Desk()),
+		core.BaselineDesign(platform.Emb1()),
+		core.NewN1(),
+		core.NewN2(),
+	}
+
+	// Target load per workload: what 100 srvr1 servers sustain.
+	const baselineServers = 100.0
+	srvr1 := designs[0]
+
+	type sized struct {
+		design  string
+		servers int
+		tco     float64
+	}
+	best := map[string]sized{}
+	fleetTCO := map[string]float64{} // per design name, homogeneous total
+	reached := map[string]int{}      // pools each design can serve
+	u := scaleout.TypicalScaleOut()
+
+	for _, p := range workload.SuiteProfiles() {
+		baseMs, err := ev.Evaluate(srvr1, []workload.Profile{p})
+		if err != nil {
+			return Report{}, err
+		}
+		target := baseMs[0].Perf * baselineServers
+		for _, d := range designs {
+			ms, err := ev.Evaluate(d, []workload.Profile{p})
+			if err != nil {
+				return Report{}, err
+			}
+			resolved, err := d.Resolve()
+			if err != nil {
+				return Report{}, err
+			}
+			_, _, tco := resolved.ServerTCO(ev.Cost)
+			dep, err := scaleout.Size(target, ms[0].Perf, u,
+				resolved.Rack.ServersPerRack, tco, ms[0].PowerW)
+			if err != nil {
+				continue // design cannot reach the target at this scaling law
+			}
+			fleetTCO[d.Name] += dep.TCOUSD
+			reached[d.Name]++
+			if cur, ok := best[p.Name]; !ok || dep.TCOUSD < cur.tco {
+				best[p.Name] = sized{design: d.Name, servers: dep.Servers, tco: dep.TCOUSD}
+			}
+		}
+	}
+
+	r.addf("serving each workload at the level 100 srvr1 servers sustain:")
+	r.addf("%-11s %-8s %9s %14s", "workload", "best", "servers", "pool TCO $")
+	hybridTotal := 0.0
+	for _, p := range workload.SuiteProfiles() {
+		b := best[p.Name]
+		hybridTotal += b.tco
+		r.addf("%-11s %-8s %9d %14.0f", p.Name, b.design, b.servers, b.tco)
+	}
+	r.addf("")
+	r.addf("fleet totals (all five pools):")
+	pools := len(workload.SuiteProfiles())
+	for _, d := range designs {
+		if reached[d.Name] < pools {
+			r.addf("  homogeneous %-7s cannot serve all pools (%d/%d reachable)",
+				d.Name, reached[d.Name], pools)
+			continue
+		}
+		r.addf("  homogeneous %-7s $%11.0f", d.Name, fleetTCO[d.Name])
+	}
+	r.addf("  heterogeneous      $%11.0f", hybridTotal)
+	bestHomog := math.Inf(1)
+	bestName := ""
+	for name, total := range fleetTCO {
+		if reached[name] == pools && total < bestHomog {
+			bestHomog, bestName = total, name
+		}
+	}
+	if !math.IsInf(bestHomog, 1) {
+		r.addf("")
+		r.addf("heterogeneity saves %s over the best complete homogeneous fleet (%s)",
+			pct(1-hybridTotal/bestHomog), bestName)
+	}
+	return r, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"warehousesim/internal/cost"
+	"warehousesim/internal/metrics"
+	"warehousesim/internal/paper"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+func init() {
+	register("table1", "Table 1 — benchmark suite summary", runTable1)
+	register("fig1", "Figure 1 — cost model and breakdowns (srvr1/srvr2)", runFig1)
+	register("table2", "Table 2 — the six platforms (Watt, Inf-$)", runTable2)
+	register("fig2ab", "Figure 2(a,b) — per-platform $ breakdowns", runFig2ab)
+}
+
+func runTable1() (Report, error) {
+	r := Report{ID: "table1", Title: "Table 1 — benchmark suite summary"}
+	r.addf("%-10s %-9s %-7s %-10s %-8s %s", "workload", "class", "perf", "QoS", "think", "job")
+	for _, p := range workload.SuiteProfiles() {
+		perf := "RPS w/ QoS"
+		qos := "-"
+		job := "-"
+		if p.Batch {
+			perf = "exec time"
+			job = itoa(p.JobRequests) + " tasks"
+		}
+		if p.QoSLatencySec > 0 {
+			qos = pct(p.QoSPercentile) + " < " + fseconds(p.QoSLatencySec)
+		}
+		r.addf("%-10s %-9s %-7s %-10s %-8s %s", p.Name, p.Class, perf, qos, fseconds(p.ThinkTimeSec), job)
+	}
+	r.addf("")
+	r.addf("engines: websearch=inverted index (BM25, 25%% terms cached);")
+	r.addf("         webmail=mailbox store + LoadSim-style sessions;")
+	r.addf("         ytube=Zipf video catalog, chunked streaming;")
+	r.addf("         mapreduce=MapReduce runtime over replicated DFS (wc & write)")
+	return r, nil
+}
+
+func runFig1() (Report, error) {
+	r := Report{ID: "fig1", Title: "Figure 1 — cost model and breakdowns (srvr1/srvr2)"}
+	m := cost.DefaultModel()
+	rack := platform.DefaultRack()
+	r.addf("%-8s %12s %12s %12s %10s", "system", "per-srvr HW$", "3yr P&C $", "total $", "paper tot")
+	for _, s := range []platform.Server{platform.Srvr1(), platform.Srvr2()} {
+		inf, pc, tot := m.ServerTCO(s, rack)
+		r.addf("%-8s %12.0f %12.0f %12.0f %10.0f (paper P&C %0.f)",
+			s.Name, inf, pc, tot, paper.Figure1TotalUSD[s.Name], paper.Figure1PCUSD[s.Name])
+	}
+	r.addf("")
+	r.addf("burden multiplier (1+K1+L1*(1+K2)) = %.4f; tariff $%.0f/MWh; AF %.2f",
+		m.PC.BurdenMultiplier(), m.PC.TariffUSDPerMWh, m.Power.ActivityFactor)
+	r.addf("")
+	r.addf("srvr2 cost breakdown (Figure 1b):")
+	b := m.ServerBreakdown(platform.Srvr2(), rack)
+	fr := b.Fractions()
+	for _, k := range metrics.SortedKeys(fr) {
+		if fr[k] < 0.005 {
+			continue
+		}
+		r.addf("  %-10s %s", k, pct(fr[k]))
+	}
+	return r, nil
+}
+
+func runTable2() (Report, error) {
+	r := Report{ID: "table2", Title: "Table 2 — the six platforms (Watt, Inf-$)"}
+	m := cost.DefaultModel()
+	rack := platform.DefaultRack()
+	r.addf("%-7s %6s %10s %8s %10s  %s", "system", "watt", "paper W", "inf-$", "paper $", "config")
+	for _, s := range platform.All() {
+		inf, _, _ := m.ServerTCO(s, rack)
+		pipeline := "OoO"
+		if !s.CPU.OutOfOrder {
+			pipeline = "in-order"
+		}
+		r.addf("%-7s %6.0f %10.0f %8.0f %10.0f  %dp x %d @ %.1fGHz %s, %gMB L2",
+			s.Name, s.MaxPowerW(), paper.Table2Watt[s.Name],
+			inf, paper.Table2InfUSD[s.Name],
+			s.CPU.Sockets, s.CPU.CoresPerSocket, s.CPU.FreqGHz, pipeline, s.CPU.L2MB)
+	}
+	return r, nil
+}
+
+func runFig2ab() (Report, error) {
+	r := Report{ID: "fig2ab", Title: "Figure 2(a,b) — per-platform $ breakdowns"}
+	m := cost.DefaultModel()
+	rack := platform.DefaultRack()
+	r.addf("infrastructure-$ shares per server:")
+	r.addf("%-7s %6s %6s %6s %6s %6s %6s", "system", "cpu", "mem", "disk", "board", "fans", "rack")
+	for _, s := range platform.All() {
+		b := m.ServerBreakdown(s, rack)
+		hw := b.HardwareUSD()
+		r.addf("%-7s %6s %6s %6s %6s %6s %6s", s.Name,
+			pct(b.CPUHW/hw), pct(b.MemHW/hw), pct(b.DiskHW/hw),
+			pct(b.BoardHW/hw), pct(b.FanHW/hw), pct(b.RackHW/hw))
+	}
+	r.addf("")
+	r.addf("burdened P&C-$ shares per server:")
+	r.addf("%-7s %6s %6s %6s %6s %6s %6s", "system", "cpu", "mem", "disk", "board", "fans", "rack")
+	for _, s := range platform.All() {
+		b := m.ServerBreakdown(s, rack)
+		pc := b.PowerCoolingUSD()
+		r.addf("%-7s %6s %6s %6s %6s %6s %6s", s.Name,
+			pct(b.CPUPC/pc), pct(b.MemPC/pc), pct(b.DiskPC/pc),
+			pct(b.BoardPC/pc), pct(b.FanPC/pc), pct(b.RackPC/pc))
+	}
+	return r, nil
+}
+
+func itoa(v int) string { return fmtInt(v) }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"warehousesim/internal/core"
+	"warehousesim/internal/metrics"
+	"warehousesim/internal/paper"
+	"warehousesim/internal/platform"
+)
+
+func init() {
+	register("table3", "Table 3 — low-power disks with flash disk caches", runTable3)
+	register("fig5", "Figure 5 — unified designs N1/N2 vs srvr1", runFig5)
+	register("fig5alt", "§3.6 — N1/N2 vs srvr2 and desk baselines", runFig5Alt)
+}
+
+func runTable3() (Report, error) {
+	r := Report{ID: "table3", Title: "Table 3 — low-power disks with flash disk caches"}
+	ev := core.NewEvaluator()
+
+	base := core.BaselineDesign(platform.Emb1())
+	variants := []core.Design{base}
+	for _, k := range []core.StorageKind{
+		core.RemoteLaptopStorage, core.RemoteLaptopFlashStorage, core.RemoteLaptop2FlashStorage,
+	} {
+		d := base
+		d.Name = k.String()
+		d.Storage = k
+		variants = append(variants, d)
+	}
+	tbl, err := ev.EvaluateSuite(variants)
+	if err != nil {
+		return Report{}, err
+	}
+
+	r.addf("emb1 with alternate disk subsystems, suite harmonic means")
+	r.addf("relative to the local desktop disk (model / paper):")
+	r.addf("%-22s %14s %14s %14s", "disk subsystem", "Perf/Inf-$", "Perf/W", "Perf/TCO-$")
+	for _, d := range variants[1:] {
+		hmI := tbl.HMeanRelative(metrics.PerfPerInf, "emb1")[d.Name]
+		hmW := tbl.HMeanRelative(metrics.PerfPerWatt, "emb1")[d.Name]
+		hmT := tbl.HMeanRelative(metrics.PerfPerTCO, "emb1")[d.Name]
+		pub := paper.Table3b[d.Name]
+		r.addf("%-22s %6s/%-6s %6s/%-6s %6s/%-6s", d.Name,
+			pct(hmI), pct(pub["Perf/Inf-$"]),
+			pct(hmW), pct(pub["Perf/W"]),
+			pct(hmT), pct(pub["Perf/TCO-$"]))
+	}
+	r.addf("")
+	r.addf("per-workload Perf relative to local desktop disk:")
+	hdr := pad("", 12)
+	for _, d := range variants[1:] {
+		hdr += pad(d.Name, 22)
+	}
+	r.Lines = append(r.Lines, hdr)
+	rel := tbl.Relative(metrics.Perf, "emb1")
+	for _, w := range paper.Workloads {
+		row := pad(w, 12)
+		for _, d := range variants[1:] {
+			row += pad(pct(rel[w][d.Name]), 22)
+		}
+		r.Lines = append(r.Lines, row)
+	}
+	return r, nil
+}
+
+func fig5Table() (*metrics.Table, error) {
+	ev := core.NewEvaluator()
+	designs := append(core.AllBaselines(), core.NewN1(), core.NewN2())
+	return ev.EvaluateSuite(designs)
+}
+
+func runFig5() (Report, error) {
+	r := Report{ID: "fig5", Title: "Figure 5 — unified designs N1/N2 vs srvr1"}
+	tbl, err := fig5Table()
+	if err != nil {
+		return Report{}, err
+	}
+	for _, k := range []metrics.Metric{metrics.PerfPerInf, metrics.PerfPerWatt, metrics.PerfPerTCO} {
+		rel := tbl.Relative(k, "srvr1")
+		hm := tbl.HMeanRelative(k, "srvr1")
+		r.addf("%s relative to srvr1:", k)
+		for _, w := range paper.Workloads {
+			line := "  " + pad(w, 11) +
+				pad("N1 "+ratioX(rel[w]["N1"]), 11) +
+				pad("N2 "+ratioX(rel[w]["N2"]), 11)
+			if k == metrics.PerfPerTCO {
+				pub := paper.Figure5PerfPerTCO[w]
+				line += "  (paper ~" + ratioX(pub["N1"]) + " / ~" + ratioX(pub["N2"]) + ")"
+			}
+			r.Lines = append(r.Lines, line)
+		}
+		line := "  " + pad("HMean", 11) +
+			pad("N1 "+ratioX(hm["N1"]), 11) +
+			pad("N2 "+ratioX(hm["N2"]), 11)
+		if k == metrics.PerfPerTCO {
+			pub := paper.Figure5PerfPerTCO["hmean"]
+			line += "  (paper ~" + ratioX(pub["N1"]) + " / ~" + ratioX(pub["N2"]) + ")"
+		}
+		r.Lines = append(r.Lines, line)
+		r.addf("")
+	}
+	// Compaction claim of §3.6.
+	n2rack, err := core.RackFor(core.NewN2())
+	if err != nil {
+		return Report{}, err
+	}
+	n1rack, err := core.RackFor(core.NewN1())
+	if err != nil {
+		return Report{}, err
+	}
+	r.addf("compaction: N1 %d systems/rack, N2 %d systems/rack (baseline 40)",
+		n1rack.ServersPerRack, n2rack.ServersPerRack)
+	return r, nil
+}
+
+func runFig5Alt() (Report, error) {
+	r := Report{ID: "fig5alt", Title: "§3.6 — N1/N2 vs srvr2 and desk baselines"}
+	tbl, err := fig5Table()
+	if err != nil {
+		return Report{}, err
+	}
+	for _, baseline := range []string{"srvr2", "desk"} {
+		hm := tbl.HMeanRelative(metrics.PerfPerTCO, baseline)
+		rel := tbl.Relative(metrics.PerfPerTCO, baseline)
+		r.addf("vs %s: N1 hmean %s, N2 hmean %s (paper: N2 ~1.8-2x)",
+			baseline, ratioX(hm["N1"]), ratioX(hm["N2"]))
+		for _, w := range []string{"ytube", "mapred-wc", "mapred-wr"} {
+			r.addf("  %-10s N1 %s  N2 %s", w, ratioX(rel[w]["N1"]), ratioX(rel[w]["N2"]))
+		}
+	}
+	return r, nil
+}

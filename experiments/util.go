@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func fmtInt(v int) string { return strconv.Itoa(v) }
+
+// fseconds renders a duration in seconds compactly.
+func fseconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gs", s)
+	}
+}

@@ -1,0 +1,3 @@
+module warehousesim
+
+go 1.22

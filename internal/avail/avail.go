@@ -1,0 +1,99 @@
+// Package avail models service availability under scale-out — the flip
+// side of the paper's design decision to "move high-end hardware
+// features into the application stack (e.g., high-availability)"
+// (§1). With reliability in software, a service stays up as long as
+// enough of its N servers are up; the question a fleet designer asks is
+// how many spares that takes when the fleet is built from many small
+// (and individually less redundant) machines instead of few large ones.
+//
+// The model: each server is independently up with availability a
+// (derived from MTBF/MTTR); the service needs at least k of n servers;
+// service availability is the binomial tail P(up >= k). Sparing solves
+// for the smallest n meeting a target.
+package avail
+
+import (
+	"fmt"
+	"math"
+)
+
+// ServerAvailability converts MTBF/MTTR into steady-state availability.
+func ServerAvailability(mtbfHours, mttrHours float64) (float64, error) {
+	if mtbfHours <= 0 || mttrHours < 0 {
+		return 0, fmt.Errorf("avail: invalid mtbf=%g mttr=%g", mtbfHours, mttrHours)
+	}
+	return mtbfHours / (mtbfHours + mttrHours), nil
+}
+
+// ServiceAvailability returns P(at least k of n servers up) when each
+// server is up independently with probability a. Computed in log space
+// via the complement sum over the failure tail for numeric robustness.
+func ServiceAvailability(n, k int, a float64) (float64, error) {
+	switch {
+	case n <= 0 || k <= 0 || k > n:
+		return 0, fmt.Errorf("avail: invalid n=%d k=%d", n, k)
+	case a <= 0 || a >= 1:
+		return 0, fmt.Errorf("avail: availability %g outside (0,1)", a)
+	}
+	// P(up >= k) = sum_{i=k..n} C(n,i) a^i (1-a)^(n-i).
+	// Sum the smaller tail for accuracy.
+	logA := math.Log(a)
+	logB := math.Log(1 - a)
+	sumTail := func(lo, hi int) float64 {
+		total := 0.0
+		for i := lo; i <= hi; i++ {
+			logP := logChoose(n, i) + float64(i)*logA + float64(n-i)*logB
+			total += math.Exp(logP)
+		}
+		return total
+	}
+	if k <= n/2 {
+		// Failure tail is the smaller sum: P(up < k).
+		fail := sumTail(0, k-1)
+		if fail < 0 {
+			fail = 0
+		}
+		return 1 - fail, nil
+	}
+	return sumTail(k, n), nil
+}
+
+// logChoose returns log C(n, k) via lgamma.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// ServersForTarget returns the smallest n >= kNeeded with
+// ServiceAvailability(n, kNeeded, a) >= target.
+func ServersForTarget(kNeeded int, serverAvail, target float64) (int, error) {
+	if kNeeded <= 0 {
+		return 0, fmt.Errorf("avail: need capacity servers > 0")
+	}
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("avail: target %g outside (0,1)", target)
+	}
+	for n := kNeeded; n <= kNeeded*3+1000; n++ {
+		av, err := ServiceAvailability(n, kNeeded, serverAvail)
+		if err != nil {
+			return 0, err
+		}
+		if av >= target {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("avail: target %g unreachable with per-server availability %g",
+		target, serverAvail)
+}
+
+// SparingOverhead returns (n-k)/k — the fractional extra fleet bought
+// purely for availability.
+func SparingOverhead(n, k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return float64(n-k) / float64(k)
+}

@@ -1,0 +1,145 @@
+package avail
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerAvailability(t *testing.T) {
+	a, err := ServerAvailability(990, 10)
+	if err != nil || math.Abs(a-0.99) > 1e-12 {
+		t.Fatalf("availability = %g, %v", a, err)
+	}
+	if _, err := ServerAvailability(0, 1); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	if _, err := ServerAvailability(100, -1); err == nil {
+		t.Error("negative MTTR accepted")
+	}
+}
+
+func TestServiceAvailabilityHandCases(t *testing.T) {
+	// n=1, k=1: availability = a.
+	a, err := ServiceAvailability(1, 1, 0.9)
+	if err != nil || math.Abs(a-0.9) > 1e-12 {
+		t.Fatalf("1-of-1 = %g, %v", a, err)
+	}
+	// n=2, k=1: 1 - (1-a)^2.
+	a, err = ServiceAvailability(2, 1, 0.9)
+	if err != nil || math.Abs(a-0.99) > 1e-9 {
+		t.Fatalf("1-of-2 = %g, %v", a, err)
+	}
+	// n=2, k=2: a^2.
+	a, err = ServiceAvailability(2, 2, 0.9)
+	if err != nil || math.Abs(a-0.81) > 1e-9 {
+		t.Fatalf("2-of-2 = %g, %v", a, err)
+	}
+	// n=3, k=2: 3a^2(1-a) + a^3.
+	want := 3*0.9*0.9*0.1 + 0.9*0.9*0.9
+	a, err = ServiceAvailability(3, 2, 0.9)
+	if err != nil || math.Abs(a-want) > 1e-9 {
+		t.Fatalf("2-of-3 = %g, want %g", a, want)
+	}
+}
+
+func TestServiceAvailabilityValidation(t *testing.T) {
+	if _, err := ServiceAvailability(0, 1, 0.9); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ServiceAvailability(3, 4, 0.9); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := ServiceAvailability(3, 1, 1.0); err == nil {
+		t.Error("a=1 accepted")
+	}
+}
+
+func TestSparesImproveAvailability(t *testing.T) {
+	base, err := ServiceAvailability(100, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spared, err := ServiceAvailability(105, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spared <= base {
+		t.Errorf("spares did not help: %g vs %g", spared, base)
+	}
+	// 100-of-100 at a=0.99 is terrible (~0.366); 5 spares should push
+	// well past 0.9.
+	if base > 0.5 {
+		t.Errorf("no-spare availability %g suspiciously high", base)
+	}
+	if spared < 0.9 {
+		t.Errorf("5%% sparing only reaches %g", spared)
+	}
+}
+
+func TestServersForTarget(t *testing.T) {
+	n, err := ServersForTarget(100, 0.99, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 100 {
+		t.Fatalf("no spares allocated: %d", n)
+	}
+	// Minimality and sufficiency.
+	av, err := ServiceAvailability(n, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av < 0.9999 {
+		t.Errorf("returned n=%d misses target: %g", n, av)
+	}
+	if n > 100 {
+		prev, err := ServiceAvailability(n-1, 100, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0.9999 {
+			t.Errorf("n=%d not minimal", n)
+		}
+	}
+	if _, err := ServersForTarget(0, 0.99, 0.9); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ServersForTarget(10, 0.99, 1.0); err == nil {
+		t.Error("target=1 accepted")
+	}
+}
+
+func TestSparingOverhead(t *testing.T) {
+	if got := SparingOverhead(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("overhead = %g", got)
+	}
+	if SparingOverhead(5, 0) != 0 {
+		t.Error("zero capacity should return 0")
+	}
+}
+
+// Property: availability is monotone in n and in a.
+func TestQuickAvailabilityMonotone(t *testing.T) {
+	f := func(kRaw, extraRaw uint8, aRaw float64) bool {
+		k := 1 + int(kRaw)%50
+		extra := int(extraRaw) % 20
+		a := 0.5 + math.Mod(math.Abs(aRaw), 0.49)
+		lo, err1 := ServiceAvailability(k+extra, k, a)
+		hi, err2 := ServiceAvailability(k+extra+1, k, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if hi < lo-1e-9 {
+			return false
+		}
+		better, err := ServiceAvailability(k+extra, k, math.Min(0.999, a+0.01))
+		if err != nil {
+			return false
+		}
+		return better >= lo-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

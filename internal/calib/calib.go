@@ -1,0 +1,313 @@
+// Package calib fits the workload demand profiles against the paper's
+// published relative-performance matrix (Figure 2(c), "Perf" rows).
+//
+// The demand model has a handful of free constants per workload (CPU
+// seconds on the reference core, cache working set and miss penalty,
+// multicore scaling exponent, disk and network demands). The paper's
+// COTSon measurements are not reproducible directly, so these constants
+// are chosen to minimize the log-space error between the model's
+// relative performance across the six platforms and the published
+// numbers — a standard calibration step for analytic performance models.
+//
+// The fitter is deterministic (seeded random search followed by
+// coordinate descent) so a calibration run is reproducible. cmd/whcalib
+// runs it and prints the fitted profiles; the frozen results live in
+// internal/workload/profiles.go.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"warehousesim/internal/cluster"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/workload"
+)
+
+// Param identifies one tunable profile constant.
+type Param int
+
+// The tunable constants of a demand profile.
+const (
+	CPURefSec Param = iota
+	WorkingSetMB
+	MissPenalty
+	Beta
+	DiskOps
+	DiskBytes // read bytes, or write bytes for write-dominated workloads
+	NetBytes
+	numParams
+)
+
+// String implements fmt.Stringer.
+func (p Param) String() string {
+	return [...]string{"CPURefSec", "WorkingSetMB", "MissPenalty", "Beta",
+		"DiskOps", "DiskBytes", "NetBytes"}[p]
+}
+
+// Bounds is a parameter search range; Log selects geometric sampling.
+type Bounds struct {
+	Lo, Hi float64
+	Log    bool
+}
+
+func (b Bounds) sample(r *stats.RNG) float64 {
+	if b.Log {
+		return b.Lo * math.Exp(r.Float64()*math.Log(b.Hi/b.Lo))
+	}
+	return b.Lo + r.Float64()*(b.Hi-b.Lo)
+}
+
+func (b Bounds) clamp(x float64) float64 {
+	if x < b.Lo {
+		return b.Lo
+	}
+	if x > b.Hi {
+		return b.Hi
+	}
+	return x
+}
+
+// DefaultBounds returns the search ranges used for all workloads.
+func DefaultBounds() [numParams]Bounds {
+	return [numParams]Bounds{
+		CPURefSec:    {Lo: 0.001, Hi: 0.4, Log: true},
+		WorkingSetMB: {Lo: 0.25, Hi: 16, Log: true},
+		MissPenalty:  {Lo: 0.2, Hi: 3.5},
+		Beta:         {Lo: 0.55, Hi: 1.0},
+		DiskOps:      {Lo: 0.0, Hi: 4.0},
+		DiskBytes:    {Lo: 1e3, Hi: 8e6, Log: true},
+		NetBytes:     {Lo: 1e3, Hi: 4e6, Log: true},
+	}
+}
+
+// Task describes one calibration problem: a template profile (QoS, job
+// shape and class fixed), the published relative-performance targets,
+// and whether disk demand is write-dominated.
+type Task struct {
+	Template     workload.Profile
+	Targets      map[string]float64 // platform name -> relative perf (srvr1 = 1)
+	WriteHeavy   bool
+	AnchorPerf   float64 // desired absolute srvr1 Perf (0 disables)
+	AnchorWeight float64
+	// Weights de-emphasize platforms whose published numbers the model
+	// class cannot fully express (see DESIGN.md §2 and EXPERIMENTS.md:
+	// emb2's measured performance exceeds what any capacity model
+	// predicts from its specs on the CPU-bound workloads). Missing
+	// entries default to 1.
+	Weights map[string]float64
+	// BoundOverrides narrows the search space per workload (e.g. webmail
+	// cannot plausibly move megabytes of NIC traffic per request).
+	BoundOverrides map[Param]Bounds
+}
+
+func (t Task) weight(sys string) float64 {
+	if w, ok := t.Weights[sys]; ok {
+		return w
+	}
+	return 1
+}
+
+func (t Task) bounds() [numParams]Bounds {
+	b := DefaultBounds()
+	for p, ov := range t.BoundOverrides {
+		b[p] = ov
+	}
+	return b
+}
+
+// apply maps a parameter vector onto the template.
+func (t Task) apply(v [numParams]float64) workload.Profile {
+	p := t.Template
+	p.CPURefSec = v[CPURefSec]
+	p.CacheWorkingSetMB = v[WorkingSetMB]
+	p.CacheMissPenalty = v[MissPenalty]
+	p.CoreScalingBeta = v[Beta]
+	p.DiskOps = v[DiskOps]
+	if t.WriteHeavy {
+		p.DiskWriteBytes = v[DiskBytes]
+		p.DiskReadBytes = 0
+	} else {
+		p.DiskReadBytes = v[DiskBytes]
+		p.DiskWriteBytes = 0
+	}
+	p.NetBytes = v[NetBytes]
+	return p
+}
+
+// extract reads the parameter vector back out of a profile.
+func extract(p workload.Profile, writeHeavy bool) [numParams]float64 {
+	db := p.DiskReadBytes
+	if writeHeavy {
+		db = p.DiskWriteBytes
+	}
+	return [numParams]float64{
+		CPURefSec:    p.CPURefSec,
+		WorkingSetMB: p.CacheWorkingSetMB,
+		MissPenalty:  p.CacheMissPenalty,
+		Beta:         p.CoreScalingBeta,
+		DiskOps:      p.DiskOps,
+		DiskBytes:    db,
+		NetBytes:     p.NetBytes,
+	}
+}
+
+// RelativePerf evaluates a profile on all six platforms with the
+// analytic solver and returns performance relative to srvr1.
+func RelativePerf(p workload.Profile) (map[string]float64, float64, error) {
+	perfs := map[string]float64{}
+	for _, s := range platform.All() {
+		res, err := (cluster.Config{Server: s}).Analyze(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		perfs[s.Name] = res.Perf
+	}
+	base := perfs["srvr1"]
+	if base <= 0 {
+		return nil, 0, fmt.Errorf("calib: srvr1 perf is %g", base)
+	}
+	rel := map[string]float64{}
+	for k, v := range perfs {
+		rel[k] = v / base
+	}
+	return rel, base, nil
+}
+
+// separationWeight scales the pairwise-ratio term of the objective. The
+// term penalizes fits that match levels on average but collapse the
+// separations between platforms (e.g. a shared-bottleneck solution where
+// srvr2/desk/mobl/emb1 all tie), which would break the ordering the
+// paper's conclusions rest on.
+const separationWeight = 1.0
+
+// objective returns the fitting error for a parameter vector: squared
+// log-errors against the target levels, squared log-errors of adjacent
+// platform ratios (separation), plus the anchor penalty.
+func (t Task) objective(v [numParams]float64) float64 {
+	p := t.apply(v)
+	if err := p.Validate(); err != nil {
+		return math.Inf(1)
+	}
+	rel, base, err := RelativePerf(p)
+	if err != nil {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for sys, target := range t.Targets {
+		got := rel[sys]
+		if got <= 0 {
+			return math.Inf(1)
+		}
+		d := math.Log(got / target)
+		sum += t.weight(sys) * d * d
+	}
+	// Separation: compare model vs target ratios between platforms
+	// adjacent in the paper's tier order.
+	order := []string{"srvr2", "desk", "mobl", "emb1", "emb2"}
+	for i := 0; i+1 < len(order); i++ {
+		a, b := order[i], order[i+1]
+		ta, okA := t.Targets[a]
+		tb, okB := t.Targets[b]
+		if !okA || !okB || rel[a] <= 0 || rel[b] <= 0 {
+			continue
+		}
+		w := separationWeight * math.Min(t.weight(a), t.weight(b))
+		d := math.Log((rel[a] / rel[b]) / (ta / tb))
+		sum += w * d * d
+	}
+	if t.AnchorPerf > 0 {
+		d := math.Log(base / t.AnchorPerf)
+		sum += t.AnchorWeight * d * d
+	}
+	return sum
+}
+
+// Result is the outcome of one calibration fit.
+type Result struct {
+	Profile workload.Profile
+	// Err is the final objective value (sum of squared log errors).
+	Err float64
+	// RMSLE is the root-mean-square log error over the targets.
+	RMSLE float64
+	// Model holds the fitted model's relative perf per platform.
+	Model map[string]float64
+	// BasePerf is the absolute srvr1 performance of the fit.
+	BasePerf float64
+}
+
+// Fit searches for the profile constants minimizing the objective:
+// `samples` random probes followed by `sweeps` rounds of per-parameter
+// golden-section-style refinement. Deterministic for a given seed.
+func Fit(t Task, samples, sweeps int, seed uint64) (Result, error) {
+	if len(t.Targets) == 0 {
+		return Result{}, fmt.Errorf("calib: no targets for %s", t.Template.Name)
+	}
+	bounds := t.bounds()
+	rng := stats.NewRNG(seed)
+
+	best := extract(t.Template, t.WriteHeavy)
+	bestErr := t.objective(best)
+
+	// Phase 1: seeded random search.
+	for i := 0; i < samples; i++ {
+		var v [numParams]float64
+		for j := Param(0); j < numParams; j++ {
+			v[j] = bounds[j].sample(rng)
+		}
+		if e := t.objective(v); e < bestErr {
+			best, bestErr = v, e
+		}
+	}
+
+	// Phase 2: coordinate descent with shrinking multiplicative steps.
+	step := 0.5
+	for s := 0; s < sweeps; s++ {
+		improved := false
+		for j := Param(0); j < numParams; j++ {
+			for _, mul := range []float64{1 + step, 1 / (1 + step)} {
+				v := best
+				v[j] = bounds[j].clamp(v[j] * mul)
+				if e := t.objective(v); e < bestErr {
+					best, bestErr = v, e
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+			if step < 0.01 {
+				break
+			}
+		}
+	}
+
+	p := t.apply(best)
+	rel, base, err := RelativePerf(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Profile:  p,
+		Err:      bestErr,
+		RMSLE:    math.Sqrt(bestErr / float64(len(t.Targets))),
+		Model:    rel,
+		BasePerf: base,
+	}, nil
+}
+
+// FormatComparison renders a target-vs-model table for reports.
+func FormatComparison(targets, model map[string]float64) string {
+	keys := make([]string, 0, len(targets))
+	for k := range targets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("  %-6s paper %5.1f%%  model %5.1f%%\n", k, targets[k]*100, model[k]*100)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package calib
+
+import (
+	"fmt"
+
+	"warehousesim/internal/paper"
+	"warehousesim/internal/workload"
+)
+
+// SuiteTasks returns the five calibration problems: one per benchmark,
+// each targeting the paper's Figure 2(c) relative-performance row for
+// the five non-baseline platforms. Anchors keep the absolute srvr1
+// numbers in a plausible range (the paper reports only relative
+// performance, so the anchors are weakly weighted).
+func SuiteTasks() []Task {
+	anchor := map[string]float64{
+		"websearch": 150,       // RPS; Nutch-class query service
+		"webmail":   250,       // RPS; SquirrelMail actions
+		"ytube":     120,       // RPS; media chunk fetches
+		"mapred-wc": 1.0 / 180, // jobs/s; ~3 minutes for 5GB wordcount
+		"mapred-wr": 1.0 / 240, // jobs/s; ~4 minutes for 5GB write
+	}
+	// Per-workload search-space narrowing: per-request demands must stay
+	// physically plausible (a webmail action does not move megabytes over
+	// the NIC; a media chunk does not fit in a kilobyte).
+	bounds := map[string]map[Param]Bounds{
+		"websearch": {
+			NetBytes:  {Lo: 5e3, Hi: 100e3, Log: true},
+			DiskBytes: {Lo: 10e3, Hi: 2e6, Log: true},
+			DiskOps:   {Lo: 0, Hi: 3},
+			CPURefSec: {Lo: 0.005, Hi: 0.3, Log: true},
+		},
+		"webmail": {
+			NetBytes:  {Lo: 20e3, Hi: 500e3, Log: true},
+			DiskBytes: {Lo: 5e3, Hi: 500e3, Log: true},
+			DiskOps:   {Lo: 0, Hi: 3},
+			CPURefSec: {Lo: 0.01, Hi: 0.4, Log: true},
+		},
+		"ytube": {
+			NetBytes:  {Lo: 200e3, Hi: 4e6, Log: true},
+			DiskBytes: {Lo: 200e3, Hi: 6e6, Log: true},
+			DiskOps:   {Lo: 0.25, Hi: 3},
+			CPURefSec: {Lo: 0.0005, Hi: 0.03, Log: true},
+		},
+		// Hadoop runs 4 tasks per CPU concurrently against one spindle,
+		// so per-task disk access is seek-heavy; allow ops-dominated
+		// profiles.
+		"mapred-wc": {
+			NetBytes:  {Lo: 10e3, Hi: 1e6, Log: true},
+			DiskBytes: {Lo: 0.5e6, Hi: 8e6, Log: true},
+			DiskOps:   {Lo: 0.5, Hi: 24},
+			CPURefSec: {Lo: 0.02, Hi: 0.4, Log: true},
+		},
+		"mapred-wr": {
+			NetBytes:  {Lo: 10e3, Hi: 1e6, Log: true},
+			DiskBytes: {Lo: 0.5e6, Hi: 8e6, Log: true},
+			DiskOps:   {Lo: 0.5, Hi: 24},
+			CPURefSec: {Lo: 0.005, Hi: 0.2, Log: true},
+		},
+	}
+	// emb2's published numbers on the CPU-bound workloads exceed what a
+	// capacity model predicts from its 600 MHz in-order specs; de-weight
+	// it there so the fit prioritizes the platforms the paper's
+	// conclusions rest on (see EXPERIMENTS.md "Known deviations").
+	weights := map[string]map[string]float64{
+		"websearch": {"emb2": 0.3},
+		"webmail":   {"emb2": 0.2},
+		"mapred-wc": {"emb2": 0.5},
+		"mapred-wr": {"emb2": 0.5},
+	}
+	var tasks []Task
+	for _, p := range workload.SuiteProfiles() {
+		targets := map[string]float64{}
+		for sys, v := range paper.Figure2cPerf[p.Name] {
+			if sys == "srvr1" {
+				continue // baseline is 1.0 by construction
+			}
+			targets[sys] = v
+		}
+		tasks = append(tasks, Task{
+			Template:       p,
+			Targets:        targets,
+			WriteHeavy:     p.Class == workload.MapReduceWR,
+			AnchorPerf:     anchor[p.Name],
+			AnchorWeight:   0.05,
+			Weights:        weights[p.Name],
+			BoundOverrides: bounds[p.Name],
+		})
+	}
+	return tasks
+}
+
+// TaskFor returns the calibration task for one benchmark name.
+func TaskFor(name string) (Task, error) {
+	for _, t := range SuiteTasks() {
+		if t.Template.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("calib: unknown workload %q", name)
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"warehousesim/internal/workload"
+)
+
+// Result is the outcome of evaluating one (configuration, workload)
+// pair: the sustained throughput under QoS and its supporting detail.
+type Result struct {
+	// Throughput is the sustained request rate (requests/second).
+	Throughput float64
+	// Perf is the paper's performance number: Throughput for interactive
+	// workloads, 1/ExecTime (jobs/second) for batch workloads.
+	Perf float64
+	// QoSMet reports whether the QoS constraint held; false means the
+	// platform cannot meet the bound even unloaded and Throughput is the
+	// best-effort rate.
+	QoSMet bool
+	// MeanLatency and P95Latency describe response time at the operating
+	// point (interactive workloads only).
+	MeanLatency, P95Latency float64
+	// ExecTime is the batch job execution time (batch workloads only).
+	ExecTime float64
+	// Bottleneck names the resource limiting throughput.
+	Bottleneck string
+	// Utilization per station ("cpu", "disk", "net") at the operating
+	// point.
+	Utilization map[string]float64
+	// Clients is the sustained concurrent client count (DES runs only).
+	Clients int
+}
+
+// bestEffortUtil is the utilization at which throughput is reported when
+// the QoS bound is unreachable even at zero load — the paper's client
+// driver drives the system to "the highest level of throughput without
+// overloading the servers" (§2.1), i.e. near saturation, and reports the
+// QoS violations alongside.
+const bestEffortUtil = 0.85
+
+// erlangC returns the steady-state probability that an arriving job must
+// queue in an M/M/m station at utilization rho, computed via the stable
+// Erlang-B recurrence.
+func erlangC(m int, rho float64) float64 {
+	if rho >= 1 {
+		return 1
+	}
+	if rho <= 0 {
+		return 0
+	}
+	a := float64(m) * rho
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b / (1 - rho*(1-b))
+}
+
+type station struct {
+	name    string
+	m       int
+	service float64 // per-server service time
+}
+
+// capacity is the station's maximum throughput.
+func (s station) capacity() float64 {
+	if s.service <= 0 {
+		return math.Inf(1)
+	}
+	return float64(s.m) / s.service
+}
+
+// respTime returns the station's mean response time at arrival rate
+// lambda, or +Inf when saturated.
+func (s station) respTime(lambda float64) float64 {
+	if s.service <= 0 {
+		return 0
+	}
+	rho := lambda * s.service / float64(s.m)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	c := erlangC(s.m, rho)
+	w := c / (float64(s.m)/s.service - lambda)
+	return s.service + w
+}
+
+func (c Config) stations(p workload.Profile) []station {
+	d := c.MeanDemands(p)
+	return []station{
+		{name: "cpu", m: c.Server.CPU.Cores(), service: d.CPUSec},
+		{name: "disk", m: 1, service: d.DiskSec},
+		{name: "net", m: 1, service: d.NetSec},
+	}
+}
+
+// qosTailFactor converts a mean response time into the percentile the
+// QoS bound applies to, assuming an approximately exponential response
+// tail (exact for M/M/1; slightly pessimistic for multi-stage pipelines,
+// which the DES cross-validation quantifies).
+func qosTailFactor(percentile float64) float64 {
+	return math.Log(1 / (1 - percentile))
+}
+
+// Analyze computes the QoS-constrained sustained throughput of the
+// configuration on the workload using the open queueing-network
+// approximation: each station is M/M/m, response time is the sum of
+// station response times, and the operating point is the largest arrival
+// rate whose QoS-percentile latency stays within the bound.
+func (c Config) Analyze(p workload.Profile) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	sts := c.stations(p)
+
+	capMin := math.Inf(1)
+	bottleneck := ""
+	for _, s := range sts {
+		if cap := s.capacity(); cap < capMin {
+			capMin = cap
+			bottleneck = s.name
+		}
+	}
+	if math.IsInf(capMin, 1) {
+		return Result{}, fmt.Errorf("cluster: workload %s has no demand on any station", p.Name)
+	}
+
+	respAt := func(lambda float64) float64 {
+		sum := 0.0
+		for _, s := range sts {
+			sum += s.respTime(lambda)
+		}
+		return sum
+	}
+	utilAt := func(lambda float64) map[string]float64 {
+		u := map[string]float64{}
+		for _, s := range sts {
+			u[s.name] = lambda * s.service / float64(s.m)
+		}
+		return u
+	}
+
+	res := Result{Bottleneck: bottleneck}
+
+	if p.Batch || p.QoSLatencySec == 0 {
+		// Batch: the job keeps the machine saturated; throughput is the
+		// bottleneck capacity.
+		lambda := capMin
+		res.Throughput = lambda
+		res.QoSMet = true
+		res.Utilization = utilAt(lambda * 0.999)
+		if p.Batch {
+			res.ExecTime = float64(p.JobRequests) / lambda
+			res.Perf = 1 / res.ExecTime
+		} else {
+			res.Perf = lambda
+		}
+		return res, nil
+	}
+
+	tail := qosTailFactor(p.QoSPercentile)
+	zeroLoad := respAt(0)
+	if zeroLoad*tail > p.QoSLatencySec {
+		// QoS unreachable: report best-effort throughput with QoSMet
+		// false, as the client driver would observe.
+		lambda := bestEffortUtil * capMin
+		res.Throughput = lambda
+		res.Perf = lambda
+		res.QoSMet = false
+		res.MeanLatency = respAt(lambda)
+		res.P95Latency = res.MeanLatency * tail
+		res.Utilization = utilAt(lambda)
+		return res, nil
+	}
+
+	// Bisect the largest feasible arrival rate in (0, capMin).
+	lo, hi := 0.0, capMin*(1-1e-9)
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if respAt(mid)*tail <= p.QoSLatencySec {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := lo
+	res.Throughput = lambda
+	res.Perf = lambda
+	res.QoSMet = true
+	res.MeanLatency = respAt(lambda)
+	res.P95Latency = res.MeanLatency * tail
+	res.Utilization = utilAt(lambda)
+	return res, nil
+}

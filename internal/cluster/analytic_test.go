@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+// testProfile is a synthetic interactive workload used across tests.
+func testProfile() workload.Profile {
+	return workload.Profile{
+		Name: "test-interactive", Class: workload.Websearch,
+		CPURefSec: 0.020, DiskOps: 0.5, DiskReadBytes: 100e3, NetBytes: 20e3,
+		CacheWorkingSetMB: 2, CacheMissPenalty: 1, CoreScalingBeta: 0.85,
+		QoSLatencySec: 0.5, QoSPercentile: 0.95, ThinkTimeSec: 1,
+	}
+}
+
+func batchProfile() workload.Profile {
+	return workload.Profile{
+		Name: "test-batch", Class: workload.MapReduceWC,
+		CPURefSec: 0.050, DiskOps: 1, DiskReadBytes: 2e6, NetBytes: 50e3,
+		CacheWorkingSetMB: 1, CacheMissPenalty: 0.8, CoreScalingBeta: 0.9,
+		ThinkTimeSec: 0, Batch: true, JobRequests: 2000,
+	}
+}
+
+func TestErlangCBoundaries(t *testing.T) {
+	if got := erlangC(4, 0); got != 0 {
+		t.Errorf("erlangC(4,0) = %g", got)
+	}
+	if got := erlangC(4, 1); got != 1 {
+		t.Errorf("erlangC(4,1) = %g", got)
+	}
+	// Single server: C = rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := erlangC(1, rho); math.Abs(got-rho) > 1e-12 {
+			t.Errorf("erlangC(1,%g) = %g, want %g", rho, got, rho)
+		}
+	}
+}
+
+func TestErlangCKnownValue(t *testing.T) {
+	// Hand-computed via the Erlang-B recurrence: m=4, a=3.2 (rho=0.8)
+	// gives B=0.2282 and C = B/(1-rho(1-B)) = 0.5965.
+	got := erlangC(4, 0.8)
+	if math.Abs(got-0.5965) > 0.001 {
+		t.Errorf("erlangC(4,0.8) = %g, want 0.5965", got)
+	}
+}
+
+func TestErlangCMonotone(t *testing.T) {
+	for m := 1; m <= 16; m *= 2 {
+		prev := -1.0
+		for rho := 0.05; rho < 1; rho += 0.05 {
+			c := erlangC(m, rho)
+			if c < prev {
+				t.Fatalf("erlangC(%d,·) not monotone at rho=%g", m, rho)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestAnalyzeProducesFeasibleOperatingPoint(t *testing.T) {
+	cfg := Config{Server: platform.Srvr1()}
+	res, err := cfg.Analyze(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoSMet {
+		t.Fatal("srvr1 cannot meet a 0.5s QoS on a 20ms request?")
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %g", res.Throughput)
+	}
+	if res.P95Latency > 0.5+1e-6 {
+		t.Errorf("p95 = %g exceeds QoS", res.P95Latency)
+	}
+	for name, u := range res.Utilization {
+		if u < 0 || u >= 1 {
+			t.Errorf("utilization[%s] = %g", name, u)
+		}
+	}
+	if res.Bottleneck == "" {
+		t.Error("no bottleneck named")
+	}
+}
+
+func TestAnalyzePlatformOrdering(t *testing.T) {
+	// Faster platforms must sustain at least the throughput of slower
+	// ones on the same interactive workload.
+	p := testProfile()
+	var prev float64 = math.Inf(1)
+	for _, s := range platform.All() {
+		res, err := Config{Server: s}.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput > prev*1.0001 {
+			t.Errorf("%s throughput %g exceeds previous-tier %g", s.Name, res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}
+
+func TestAnalyzeBatch(t *testing.T) {
+	cfg := Config{Server: platform.Srvr2()}
+	res, err := cfg.Analyze(batchProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 {
+		t.Fatalf("exec time = %g", res.ExecTime)
+	}
+	if math.Abs(res.Perf-1/res.ExecTime) > 1e-12 {
+		t.Errorf("batch perf %g != 1/exec %g", res.Perf, 1/res.ExecTime)
+	}
+	if !res.QoSMet {
+		t.Error("batch workloads have no QoS to violate")
+	}
+}
+
+func TestAnalyzeQoSUnreachable(t *testing.T) {
+	p := testProfile()
+	p.QoSLatencySec = 0.001 // impossible: service alone is ~25ms
+	cfg := Config{Server: platform.Srvr1()}
+	res, err := cfg.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoSMet {
+		t.Error("impossible QoS reported as met")
+	}
+	if res.Throughput <= 0 {
+		t.Error("best-effort throughput missing")
+	}
+}
+
+func TestAnalyzeTighterQoSLowersThroughput(t *testing.T) {
+	cfg := Config{Server: platform.Desk()}
+	loose := testProfile()
+	tight := testProfile()
+	tight.QoSLatencySec = 0.15
+	rl, err := cfg.Analyze(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cfg.Analyze(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.QoSMet && rt.Throughput > rl.Throughput+1e-9 {
+		t.Errorf("tighter QoS increased throughput: %g > %g", rt.Throughput, rl.Throughput)
+	}
+}
+
+func TestAnalyzeMemorySlowdownReducesThroughput(t *testing.T) {
+	p := testProfile()
+	base, err := Config{Server: platform.Emb1()}.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Config{Server: platform.Emb1(), MemSlowdown: 0.05}.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Throughput >= base.Throughput {
+		t.Errorf("memory slowdown did not reduce throughput: %g vs %g",
+			slow.Throughput, base.Throughput)
+	}
+	// And the reduction should be modest (not more than ~3x the slowdown).
+	drop := 1 - slow.Throughput/base.Throughput
+	if drop > 0.15 {
+		t.Errorf("5%% slowdown caused %.0f%% throughput drop", drop*100)
+	}
+}
+
+func TestAnalyzeStorageSwapChangesBottleneck(t *testing.T) {
+	p := testProfile()
+	p.DiskOps = 2
+	p.DiskReadBytes = 1e6
+	slowDisk := Config{Server: platform.Emb1(), Storage: RemoteDisk{Disk: platform.DiskLaptop()}}
+	res, err := slowDisk.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bottleneck != "disk" {
+		t.Errorf("2 ops on a 15ms SAN disk should be disk-bound, got %s", res.Bottleneck)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	p := testProfile()
+	bad := Config{Server: platform.Srvr1(), MemSlowdown: 2}
+	if _, err := bad.Analyze(p); err == nil {
+		t.Error("invalid config accepted")
+	}
+	p.CoreScalingBeta = 0
+	if _, err := (Config{Server: platform.Srvr1()}).Analyze(p); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	empty := workload.Profile{Name: "empty", CoreScalingBeta: 1}
+	if _, err := (Config{Server: platform.Srvr1()}).Analyze(empty); err == nil {
+		t.Error("zero-demand profile accepted")
+	}
+}
+
+func TestDemandsForScalesWithPlatform(t *testing.T) {
+	p := testProfile()
+	req := p.MeanRequest()
+	fast := Config{Server: platform.Srvr1()}.DemandsFor(p, req)
+	slow := Config{Server: platform.Emb2()}.DemandsFor(p, req)
+	if slow.CPUSec <= fast.CPUSec {
+		t.Errorf("emb2 CPU demand %g not above srvr1 %g", slow.CPUSec, fast.CPUSec)
+	}
+	// NIC: srvr1 has 10GbE, emb2 1GbE.
+	if math.Abs(slow.NetSec/fast.NetSec-10) > 1e-9 {
+		t.Errorf("NIC ratio = %g, want 10", slow.NetSec/fast.NetSec)
+	}
+}
+
+// Property: throughput is monotone non-increasing in memory slowdown.
+func TestQuickThroughputMonotoneInSlowdown(t *testing.T) {
+	p := testProfile()
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 0.5)
+		b := a + math.Mod(math.Abs(bRaw), 0.5)
+		ra, err1 := Config{Server: platform.Desk(), MemSlowdown: a}.Analyze(p)
+		rb, err2 := Config{Server: platform.Desk(), MemSlowdown: b}.Analyze(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.Throughput <= ra.Throughput+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

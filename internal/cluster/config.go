@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+// Config describes one evaluated server configuration: the platform, the
+// storage subsystem serving its disk demands, and the memory-sharing
+// slowdown (if the design keeps part of its memory on a remote memory
+// blade, §3.4).
+type Config struct {
+	Server platform.Server
+	// Storage overrides the platform's on-board disk when non-nil
+	// (remote laptop disks, flash caches). Nil means the local disk.
+	Storage Storage
+	// MemSlowdown is the fractional execution slowdown from remote-page
+	// faults (e.g. 0.02 for the paper's dynamic provisioning estimate).
+	MemSlowdown float64
+}
+
+// storage resolves the effective storage subsystem.
+func (c Config) storage() Storage {
+	if c.Storage != nil {
+		return c.Storage
+	}
+	return LocalDisk{Disk: c.Server.Disk}
+}
+
+// Validate reports invalid configurations.
+func (c Config) Validate() error {
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	if c.MemSlowdown < 0 || c.MemSlowdown > 1 {
+		return fmt.Errorf("cluster: memory slowdown %g outside [0,1]", c.MemSlowdown)
+	}
+	if f, ok := c.Storage.(FlashCachedDisk); ok {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Demands converts a sampled request into per-station service times on
+// this configuration.
+type Demands struct {
+	// CPUSec is the on-core execution time (one core), including the
+	// memory-sharing slowdown.
+	CPUSec float64
+	// DiskSec is the storage-station occupancy.
+	DiskSec float64
+	// NetSec is the NIC serialization time.
+	NetSec float64
+}
+
+// Total returns the zero-load response time (sum of service times).
+func (d Demands) Total() float64 { return d.CPUSec + d.DiskSec + d.NetSec }
+
+// DemandsFor maps a request's abstract demands onto this configuration.
+//
+// The CPU term divides the reference-core seconds by the platform's
+// relative core speed for this workload and inflates it by the multicore
+// contention factor m^(1-beta) — so that m cores deliver m^beta
+// core-equivalents in aggregate, matching Profile.EffectiveCores — and
+// by the memory-sharing slowdown.
+func (c Config) DemandsFor(p workload.Profile, req workload.Request) Demands {
+	rel := p.RelativeCoreSpeed(c.Server.CPU)
+	cores := float64(c.Server.CPU.Cores())
+	inflate := math.Pow(cores, 1-p.CoreScalingBeta)
+	cpu := req.CPURefSec / rel * inflate * (1 + c.MemSlowdown)
+	return Demands{
+		CPUSec:  cpu,
+		DiskSec: ServiceTime(c.storage(), req),
+		NetSec:  req.NetBytes / c.Server.NIC.BytesPerSec(),
+	}
+}
+
+// MeanDemands maps the profile's mean request onto this configuration.
+func (c Config) MeanDemands(p workload.Profile) Demands {
+	return c.DemandsFor(p, p.MeanRequest())
+}

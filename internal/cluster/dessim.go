@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"warehousesim/internal/des"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/workload"
+)
+
+// SimOptions controls a discrete-event simulation run.
+type SimOptions struct {
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// WarmupSec of simulated time are discarded before measuring.
+	WarmupSec float64
+	// MeasureSec is the measurement window length.
+	MeasureSec float64
+	// MaxClients caps the adaptive client driver's search.
+	MaxClients int
+	// BatchConcurrency is the task parallelism for batch jobs (the paper
+	// runs Hadoop with 4 threads per CPU); 0 means 4 x cores.
+	BatchConcurrency int
+}
+
+// DefaultSimOptions returns sensible defaults for validation runs.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{Seed: 1, WarmupSec: 30, MeasureSec: 240, MaxClients: 4096}
+}
+
+func (o SimOptions) validate() error {
+	if o.WarmupSec < 0 || o.MeasureSec <= 0 {
+		return fmt.Errorf("cluster: invalid sim window warmup=%g measure=%g", o.WarmupSec, o.MeasureSec)
+	}
+	if o.MaxClients <= 0 {
+		return fmt.Errorf("cluster: MaxClients must be positive, got %d", o.MaxClients)
+	}
+	return nil
+}
+
+// simServer binds the configuration's stations to a DES instance.
+type simServer struct {
+	sim  *des.Sim
+	cpu  *des.Resource
+	disk *des.Resource
+	net  *des.Resource
+}
+
+func (c Config) newSimServer(sim *des.Sim) *simServer {
+	return &simServer{
+		sim:  sim,
+		cpu:  des.NewResource(sim, "cpu", c.Server.CPU.Cores()),
+		disk: des.NewResource(sim, "disk", 1),
+		net:  des.NewResource(sim, "net", 1),
+	}
+}
+
+// serve runs one request through cpu -> disk -> net and calls done with
+// the total residence time.
+func (s *simServer) serve(d Demands, done func(latency float64)) {
+	start := s.sim.Now()
+	s.cpu.Submit(des.Time(d.CPUSec), func() {
+		s.disk.Submit(des.Time(d.DiskSec), func() {
+			s.net.Submit(des.Time(d.NetSec), func() {
+				done(float64(s.sim.Now() - start))
+			})
+		})
+	})
+}
+
+// trialOutcome summarizes one closed-loop trial at a fixed client count.
+type trialOutcome struct {
+	throughput  float64
+	meanLatency float64
+	p95Latency  float64
+	qosMet      bool
+	utilization map[string]float64
+}
+
+// runTrial simulates nClients closed-loop clients and measures sustained
+// throughput and latency percentiles over the measurement window.
+func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients int, opt SimOptions, seed uint64) trialOutcome {
+	sim := des.NewSim()
+	srv := c.newSimServer(sim)
+	rng := stats.NewRNG(seed)
+	hist := stats.NewLatencyHistogram()
+
+	measuring := false
+	completed := 0
+
+	think := stats.Exponential{Mean: p.ThinkTimeSec}
+	var clientLoop func(r *stats.RNG)
+	clientLoop = func(r *stats.RNG) {
+		issue := func() {
+			req := gen.Sample(r)
+			d := c.DemandsFor(p, req)
+			srv.serve(d, func(latency float64) {
+				if measuring {
+					hist.Add(latency)
+					completed++
+				}
+				clientLoop(r)
+			})
+		}
+		if p.ThinkTimeSec > 0 {
+			sim.Schedule(des.Time(think.Sample(r)), issue)
+		} else {
+			issue()
+		}
+	}
+	for i := 0; i < nClients; i++ {
+		r := rng.Split()
+		// Stagger initial arrivals across one think time to avoid a
+		// synchronized thundering herd at t=0.
+		sim.Schedule(des.Time(rng.Float64()*(p.ThinkTimeSec+0.01)), func() { clientLoop(r) })
+	}
+
+	sim.Run(des.Time(opt.WarmupSec))
+	measuring = true
+	srv.cpu.ResetWindow()
+	srv.disk.ResetWindow()
+	srv.net.ResetWindow()
+	sim.Run(des.Time(opt.WarmupSec + opt.MeasureSec))
+
+	out := trialOutcome{
+		throughput:  float64(completed) / opt.MeasureSec,
+		meanLatency: hist.Mean(),
+		p95Latency:  hist.Quantile(p.QoSPercentile),
+		utilization: map[string]float64{
+			"cpu":  srv.cpu.Utilization(),
+			"disk": srv.disk.Utilization(),
+			"net":  srv.net.Utilization(),
+		},
+	}
+	if p.QoSLatencySec > 0 {
+		out.qosMet = out.p95Latency <= p.QoSLatencySec && hist.Count() > 0
+	} else {
+		out.qosMet = true
+	}
+	return out
+}
+
+// Simulate measures the configuration's sustained performance on the
+// generator's workload with the discrete-event model.
+//
+// For interactive workloads it reproduces the paper's adaptive client
+// driver (§2.1): ramp the number of simultaneous clients up
+// exponentially until QoS breaks, then binary-search the largest client
+// count that still meets QoS, and report that operating point.
+//
+// For batch workloads it executes one job of Profile.JobRequests tasks
+// at the configured concurrency and reports 1/execution-time.
+func (c Config) Simulate(gen workload.Generator, opt SimOptions) (Result, error) {
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	p := gen.Profile()
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if p.Batch {
+		return c.simulateBatch(gen, p, opt)
+	}
+	return c.simulateInteractive(gen, p, opt)
+}
+
+func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	seed := opt.Seed
+	trial := func(n int) trialOutcome {
+		seed++
+		return c.runTrial(gen, p, n, opt, seed)
+	}
+
+	best := trialOutcome{}
+	bestN := 0
+	record := func(n int, t trialOutcome) {
+		if t.qosMet && t.throughput > best.throughput {
+			best = t
+			bestN = n
+		}
+	}
+
+	// Exponential ramp.
+	n := 1
+	lastGood, firstBad := 0, 0
+	for n <= opt.MaxClients {
+		t := trial(n)
+		if t.qosMet {
+			record(n, t)
+			lastGood = n
+			n *= 2
+		} else {
+			firstBad = n
+			break
+		}
+	}
+	if lastGood == 0 {
+		// QoS unreachable even with one client: report best effort at a
+		// moderate load, mirroring the analytic path.
+		t := trial(maxInt(1, opt.MaxClients/8))
+		return Result{
+			Throughput:  t.throughput,
+			Perf:        t.throughput,
+			QoSMet:      false,
+			MeanLatency: t.meanLatency,
+			P95Latency:  t.p95Latency,
+			Bottleneck:  bottleneckOf(t.utilization),
+			Utilization: t.utilization,
+			Clients:     maxInt(1, opt.MaxClients/8),
+		}, nil
+	}
+	if firstBad == 0 {
+		firstBad = opt.MaxClients + 1
+	}
+
+	// Binary search between lastGood and firstBad.
+	lo, hi := lastGood, firstBad
+	for hi-lo > maxInt(1, lo/50) {
+		mid := (lo + hi) / 2
+		t := trial(mid)
+		if t.qosMet {
+			record(mid, t)
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+
+	return Result{
+		Throughput:  best.throughput,
+		Perf:        best.throughput,
+		QoSMet:      true,
+		MeanLatency: best.meanLatency,
+		P95Latency:  best.p95Latency,
+		Bottleneck:  bottleneckOf(best.utilization),
+		Utilization: best.utilization,
+		Clients:     bestN,
+	}, nil
+}
+
+func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	sim := des.NewSim()
+	srv := c.newSimServer(sim)
+	rng := stats.NewRNG(opt.Seed)
+
+	concurrency := opt.BatchConcurrency
+	if concurrency <= 0 {
+		concurrency = 4 * c.Server.CPU.Cores() // Hadoop's 4 threads/CPU
+	}
+
+	remaining := p.JobRequests
+	done := 0
+	var finish des.Time
+
+	var launch func()
+	launch = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		req := gen.Sample(rng)
+		d := c.DemandsFor(p, req)
+		srv.serve(d, func(float64) {
+			done++
+			if done == p.JobRequests {
+				finish = sim.Now()
+				sim.Stop()
+				return
+			}
+			launch()
+		})
+	}
+	for i := 0; i < concurrency && i < p.JobRequests; i++ {
+		launch()
+	}
+	sim.Run(des.Time(math.MaxFloat64))
+	if done != p.JobRequests {
+		return Result{}, fmt.Errorf("cluster: batch job stalled at %d/%d tasks", done, p.JobRequests)
+	}
+
+	exec := float64(finish)
+	return Result{
+		Throughput: float64(p.JobRequests) / exec,
+		Perf:       1 / exec,
+		QoSMet:     true,
+		ExecTime:   exec,
+		Bottleneck: bottleneckOf(map[string]float64{
+			"cpu": srv.cpu.Utilization(), "disk": srv.disk.Utilization(), "net": srv.net.Utilization(),
+		}),
+		Utilization: map[string]float64{
+			"cpu": srv.cpu.Utilization(), "disk": srv.disk.Utilization(), "net": srv.net.Utilization(),
+		},
+		Clients: concurrency,
+	}, nil
+}
+
+func bottleneckOf(util map[string]float64) string {
+	best, bestU := "", -1.0
+	for _, name := range [...]string{"cpu", "disk", "net"} {
+		if u := util[name]; u > bestU {
+			best, bestU = name, u
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+func quickSimOptions() SimOptions {
+	return SimOptions{Seed: 7, WarmupSec: 10, MeasureSec: 60, MaxClients: 2048}
+}
+
+func TestSimulateInteractiveBasics(t *testing.T) {
+	gen := workload.FixedGenerator{P: testProfile()}
+	cfg := Config{Server: platform.Desk()}
+	res, err := cfg.Simulate(gen, quickSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoSMet {
+		t.Fatal("desk should meet 0.5s QoS on 20ms requests")
+	}
+	if res.Throughput <= 0 || res.Clients <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.P95Latency > testProfile().QoSLatencySec {
+		t.Errorf("reported p95 %g violates QoS", res.P95Latency)
+	}
+}
+
+func TestSimulateDeterministicAcrossRuns(t *testing.T) {
+	gen := workload.FixedGenerator{P: testProfile()}
+	cfg := Config{Server: platform.Emb1()}
+	a, err := cfg.Simulate(gen, quickSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Simulate(gen, quickSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Clients != b.Clients {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateBatch(t *testing.T) {
+	p := batchProfile()
+	p.JobRequests = 500
+	gen := workload.FixedGenerator{P: p}
+	cfg := Config{Server: platform.Srvr2()}
+	res, err := cfg.Simulate(gen, quickSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 {
+		t.Fatalf("batch exec time = %g", res.ExecTime)
+	}
+	if math.Abs(res.Perf-1/res.ExecTime) > 1e-12 {
+		t.Error("batch perf inconsistent with exec time")
+	}
+}
+
+func TestSimulateBatchFasterOnBiggerMachine(t *testing.T) {
+	p := batchProfile()
+	p.JobRequests = 400
+	gen := workload.FixedGenerator{P: p}
+	big, err := Config{Server: platform.Srvr1()}.Simulate(gen, quickSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Config{Server: platform.Emb1()}.Simulate(gen, quickSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ExecTime >= small.ExecTime {
+		t.Errorf("srvr1 (%gs) not faster than emb1 (%gs)", big.ExecTime, small.ExecTime)
+	}
+}
+
+func TestSimulateRejectsBadOptions(t *testing.T) {
+	gen := workload.FixedGenerator{P: testProfile()}
+	cfg := Config{Server: platform.Desk()}
+	for _, opt := range []SimOptions{
+		{Seed: 1, WarmupSec: -1, MeasureSec: 10, MaxClients: 10},
+		{Seed: 1, WarmupSec: 1, MeasureSec: 0, MaxClients: 10},
+		{Seed: 1, WarmupSec: 1, MeasureSec: 10, MaxClients: 0},
+	} {
+		if _, err := cfg.Simulate(gen, opt); err == nil {
+			t.Errorf("options %+v accepted", opt)
+		}
+	}
+}
+
+// Cross-validation (DESIGN.md §5): the analytic solver and the DES must
+// agree on sustained throughput within a modest tolerance for both an
+// interactive and a batch workload on several platforms.
+func TestAnalyticMatchesDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	p := testProfile()
+	gen := workload.FixedGenerator{P: p}
+	for _, s := range []platform.Server{platform.Srvr1(), platform.Desk(), platform.Emb1()} {
+		cfg := Config{Server: s}
+		ana, err := cfg.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := cfg.Simulate(gen, SimOptions{Seed: 11, WarmupSec: 20, MeasureSec: 120, MaxClients: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := sim.Throughput / ana.Throughput
+		if ratio < 0.75 || ratio > 1.35 {
+			t.Errorf("%s: DES %.1f rps vs analytic %.1f rps (ratio %.2f)",
+				s.Name, sim.Throughput, ana.Throughput, ratio)
+		}
+	}
+}
+
+func TestAnalyticMatchesDESBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	p := batchProfile()
+	gen := workload.FixedGenerator{P: p, Deterministic: true}
+	for _, s := range []platform.Server{platform.Srvr2(), platform.Emb1()} {
+		cfg := Config{Server: s}
+		ana, err := cfg.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := cfg.Simulate(gen, quickSimOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := sim.ExecTime / ana.ExecTime
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s: DES exec %.1fs vs analytic %.1fs (ratio %.2f)",
+				s.Name, sim.ExecTime, ana.ExecTime, ratio)
+		}
+	}
+}
+
+func TestBottleneckOf(t *testing.T) {
+	if got := bottleneckOf(map[string]float64{"cpu": 0.9, "disk": 0.2, "net": 0.1}); got != "cpu" {
+		t.Errorf("bottleneck = %s", got)
+	}
+	if got := bottleneckOf(map[string]float64{"cpu": 0.1, "disk": 0.95, "net": 0.1}); got != "disk" {
+		t.Errorf("bottleneck = %s", got)
+	}
+}

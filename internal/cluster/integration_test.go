@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+	"warehousesim/internal/workload/mapreduce"
+	"warehousesim/internal/workload/webmail"
+	"warehousesim/internal/workload/websearch"
+	"warehousesim/internal/workload/ytube"
+)
+
+// These integration tests drive the REAL workload engines (inverted
+// index, mailbox store, video catalog, MapReduce runtime) through the
+// discrete-event server simulation — the full pipeline a paper
+// evaluation run exercises.
+
+func engineSimOptions() SimOptions {
+	return SimOptions{Seed: 3, WarmupSec: 5, MeasureSec: 40, MaxClients: 1024}
+}
+
+func TestWebsearchEngineThroughDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine integration is slow")
+	}
+	cfg := websearch.Config{
+		NumDocs: 2000, VocabSize: 3000, MeanDocLen: 80,
+		CorpusZipfS: 1.0, QueryZipfS: 0.9, CachedTermFraction: 0.25, Seed: 1,
+	}
+	eng, err := websearch.New(cfg, workload.WebsearchProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Config{Server: platform.Desk()}).Simulate(eng, engineSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	// Desk meets websearch QoS per the analytic model; the engine-driven
+	// DES must agree within a generous band.
+	ana, err := (Config{Server: platform.Desk()}).Analyze(workload.WebsearchProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Throughput / ana.Throughput
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("engine DES %.1f rps vs analytic %.1f rps (ratio %.2f)",
+			res.Throughput, ana.Throughput, ratio)
+	}
+}
+
+func TestWebmailEngineThroughDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine integration is slow")
+	}
+	cfg := webmail.Config{Users: 100, InitialMessages: 10, MaxMessagesPerFolder: 50,
+		AttachmentProb: 0.25, Seed: 2}
+	eng, err := webmail.New(cfg, workload.WebmailProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Config{Server: platform.Srvr2()}).Simulate(eng, engineSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoSMet || res.Throughput <= 0 {
+		t.Fatalf("srvr2 webmail degenerate: %+v", res)
+	}
+	if res.P95Latency > workload.WebmailProfile().QoSLatencySec {
+		t.Errorf("p95 %.3f violates the 0.8s bound", res.P95Latency)
+	}
+}
+
+func TestYtubeEngineThroughDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine integration is slow")
+	}
+	cfg := ytube.DefaultConfig()
+	cfg.Videos = 2000
+	eng, err := ytube.New(cfg, workload.YtubeProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Config{Server: platform.Emb1()}).Simulate(eng, engineSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	// ytube is IO-bound: the disk must be the busiest station.
+	if res.Bottleneck != "disk" && res.Bottleneck != "net" {
+		t.Errorf("ytube bottleneck = %s, want disk or net (util %v)",
+			res.Bottleneck, res.Utilization)
+	}
+}
+
+func TestMapReduceEngineThroughDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine integration is slow")
+	}
+	corpus := mapreduce.DefaultCorpusConfig()
+	corpus.TotalBytes = 1 << 20
+	prof := workload.MapReduceWCProfile()
+	prof.JobRequests = 300
+	eng := mustWordCount(t, corpus, prof)
+	fast, err := (Config{Server: platform.Srvr1()}).Simulate(eng, engineSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := mustWordCount(t, corpus, prof)
+	slow, err := (Config{Server: platform.Emb2()}).Simulate(eng2, engineSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ExecTime <= 0 || slow.ExecTime <= fast.ExecTime {
+		t.Errorf("exec times wrong: srvr1 %.1fs, emb2 %.1fs", fast.ExecTime, slow.ExecTime)
+	}
+}
+
+func mustWordCount(t *testing.T, corpus mapreduce.CorpusConfig, prof workload.Profile) *mapreduce.Engine {
+	t.Helper()
+	eng, err := mapreduce.NewWordCount(corpus, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// Suite-wide consistency: for every canonical profile, the analytic
+// operating point respects its own utilization and QoS reporting.
+func TestAnalyticSuiteConsistency(t *testing.T) {
+	for _, p := range workload.SuiteProfiles() {
+		for _, s := range platform.All() {
+			res, err := (Config{Server: s}).Analyze(p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, s.Name, err)
+			}
+			if res.Perf <= 0 {
+				t.Errorf("%s/%s: perf %g", p.Name, s.Name, res.Perf)
+			}
+			for st, u := range res.Utilization {
+				if u < -1e-9 || u > 1+1e-9 {
+					t.Errorf("%s/%s: %s utilization %g", p.Name, s.Name, st, u)
+				}
+			}
+			if res.QoSMet && p.QoSLatencySec > 0 && res.P95Latency > p.QoSLatencySec*1.001 {
+				t.Errorf("%s/%s: claims QoS met but p95 %.3f > %.3f",
+					p.Name, s.Name, res.P95Latency, p.QoSLatencySec)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+func TestLocalDiskTimes(t *testing.T) {
+	d := LocalDisk{Disk: platform.Disk72kDesktop()}
+	// 2 ops + 1 MB: 2*4ms + 1e6/70e6 s.
+	want := 2*0.004 + 1e6/70e6
+	if got := d.ReadTime(2, 1e6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ReadTime = %g, want %g", got, want)
+	}
+	if d.WriteTime(2, 1e6) != d.ReadTime(2, 1e6) {
+		t.Error("local disk read/write asymmetric")
+	}
+}
+
+func TestRemoteDiskAddsSANOverhead(t *testing.T) {
+	disk := platform.DiskLaptop()
+	local := LocalDisk{Disk: disk}
+	remote := RemoteDisk{Disk: disk}
+	gotExtra := remote.ReadTime(3, 0) - local.ReadTime(3, 0)
+	want := 3 * SANOverheadMs / 1e3
+	if math.Abs(gotExtra-want) > 1e-12 {
+		t.Errorf("SAN overhead for 3 ops = %g, want %g", gotExtra, want)
+	}
+}
+
+func TestFlashCachedDiskHitPath(t *testing.T) {
+	fl := platform.FlashCacheDevice()
+	backing := RemoteDisk{Disk: platform.DiskLaptop()}
+	cached := FlashCachedDisk{Flash: fl, Backing: backing, HitRate: 1}
+	// All hits: one op of 4KB should take ~flash read time, far below
+	// the disk's 15ms.
+	got := cached.ReadTime(1, 4096)
+	if got > 0.001 {
+		t.Errorf("all-hit read = %gs, expected sub-millisecond", got)
+	}
+	miss := FlashCachedDisk{Flash: fl, Backing: backing, HitRate: 0}
+	if got := miss.ReadTime(1, 4096); math.Abs(got-backing.ReadTime(1, 4096)) > 1e-12 {
+		t.Errorf("all-miss read = %g, want backing %g", got, backing.ReadTime(1, 4096))
+	}
+}
+
+func TestFlashCachedDiskMonotoneInHitRate(t *testing.T) {
+	fl := platform.FlashCacheDevice()
+	backing := RemoteDisk{Disk: platform.DiskLaptop()}
+	prev := math.Inf(1)
+	for _, hr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := FlashCachedDisk{Flash: fl, Backing: backing, HitRate: hr}
+		got := c.ReadTime(2, 64*1024)
+		if got > prev+1e-15 {
+			t.Errorf("read time not monotone in hit rate at %g: %g > %g", hr, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestFlashCachedDiskValidate(t *testing.T) {
+	fl := platform.FlashCacheDevice()
+	backing := LocalDisk{Disk: platform.DiskLaptop()}
+	if err := (FlashCachedDisk{Flash: fl, Backing: backing, HitRate: 1.5}).Validate(); err == nil {
+		t.Error("hit rate 1.5 accepted")
+	}
+	if err := (FlashCachedDisk{Flash: fl, Backing: backing, DestageForeground: -1}).Validate(); err == nil {
+		t.Error("negative destage accepted")
+	}
+	if err := (FlashCachedDisk{Flash: fl, Backing: backing, HitRate: 0.8}).Validate(); err != nil {
+		t.Errorf("valid cache rejected: %v", err)
+	}
+}
+
+func TestServiceTimeSplitsReadsWrites(t *testing.T) {
+	d := LocalDisk{Disk: platform.Disk72kDesktop()}
+	req := workload.Request{DiskOps: 4, DiskReadBytes: 3e6, DiskWriteBytes: 1e6}
+	got := ServiceTime(d, req)
+	// Symmetric device: equals treating it as one combined access set.
+	want := d.ReadTime(4, 4e6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ServiceTime = %g, want %g", got, want)
+	}
+}
+
+func TestServiceTimeZeroDemand(t *testing.T) {
+	d := LocalDisk{Disk: platform.Disk72kDesktop()}
+	if got := ServiceTime(d, workload.Request{}); got != 0 {
+		t.Errorf("zero-demand service = %g", got)
+	}
+	// Ops but no bytes: metadata-style access.
+	if got := ServiceTime(d, workload.Request{DiskOps: 1}); got != 0.004 {
+		t.Errorf("metadata op = %g, want 4ms", got)
+	}
+}
+
+// Property: flash caching never makes reads slower than the backing
+// store, for any hit rate and request shape.
+func TestQuickFlashNeverSlowerOnReads(t *testing.T) {
+	fl := platform.FlashCacheDevice()
+	backing := RemoteDisk{Disk: platform.DiskLaptop()}
+	f := func(hrRaw, opsRaw, bytesRaw float64) bool {
+		hr := math.Mod(math.Abs(hrRaw), 1)
+		ops := math.Mod(math.Abs(opsRaw), 16)
+		bytes := math.Mod(math.Abs(bytesRaw), 1e8)
+		c := FlashCachedDisk{Flash: fl, Backing: backing, HitRate: hr}
+		return c.ReadTime(ops, bytes) <= backing.ReadTime(ops, bytes)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

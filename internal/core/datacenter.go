@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"warehousesim/internal/avail"
+	"warehousesim/internal/diurnal"
+	"warehousesim/internal/fabric"
+	"warehousesim/internal/scaleout"
+	"warehousesim/internal/workload"
+)
+
+// DatacenterSpec describes a whole green-field datacenter design problem
+// (§1: the internet sector's "custom-designed servers in green-field
+// datacenters built from scratch"): one server design serving several
+// workload pools at target aggregate rates, with the cluster-level
+// concerns the paper's per-server model abstracts away — scale-out
+// overheads, availability sparing, the rack network fabric, diurnal
+// energy, and floor space.
+type DatacenterSpec struct {
+	Design Design
+	// TargetPerf maps workload name to the required aggregate rate
+	// (RPS, or jobs/s for batch).
+	TargetPerf map[string]float64
+	// Scaling is the partitioning-overhead model.
+	Scaling scaleout.USL
+	// AvailabilityTarget (e.g. 0.9999) and the server failure behavior.
+	AvailabilityTarget float64
+	ServerMTBFHours    float64
+	ServerMTTRHours    float64
+	// FabricOversubscription of the rack network edge.
+	FabricOversubscription float64
+	// RealEstateUSDPerRackYear amortizes floor space.
+	RealEstateUSDPerRackYear float64
+	// Load is the diurnal curve; consolidation is applied off-peak.
+	Load diurnal.Curve
+}
+
+// DefaultDatacenterSpec returns a spec with the extension models'
+// defaults for the given design and targets.
+func DefaultDatacenterSpec(d Design, targets map[string]float64) DatacenterSpec {
+	return DatacenterSpec{
+		Design:                   d,
+		TargetPerf:               targets,
+		Scaling:                  scaleout.TypicalScaleOut(),
+		AvailabilityTarget:       0.9999,
+		ServerMTBFHours:          2 * 8766,
+		ServerMTTRHours:          8,
+		FabricOversubscription:   4,
+		RealEstateUSDPerRackYear: 2400,
+		Load:                     diurnal.TypicalInternet(),
+	}
+}
+
+// PoolPlan is one workload pool of the datacenter.
+type PoolPlan struct {
+	Workload string
+	// Capacity servers deliver the target rate; Spares cover the
+	// availability target; Servers is their sum.
+	Capacity int
+	Spares   int
+	Servers  int
+}
+
+// DatacenterPlan is the solved deployment.
+type DatacenterPlan struct {
+	Spec  DatacenterSpec
+	Pools []PoolPlan
+	// TotalServers and Racks under the design's packaging density.
+	TotalServers int
+	Racks        int
+	// Dollar components over the depreciation cycle.
+	ServerHardwareUSD float64
+	FabricUSD         float64
+	PowerCoolingUSD   float64
+	RealEstateUSD     float64
+	// EnergyKWhPerDay with off-peak consolidation.
+	EnergyKWhPerDay float64
+}
+
+// TotalUSD is the full lifecycle cost.
+func (p DatacenterPlan) TotalUSD() float64 {
+	return p.ServerHardwareUSD + p.FabricUSD + p.PowerCoolingUSD + p.RealEstateUSD
+}
+
+// PlanDatacenter solves the spec: sizes each pool (scale-out aware),
+// adds availability spares, packs racks at the design's density, designs
+// the rack fabric, and prices energy with diurnal consolidation.
+func (ev *Evaluator) PlanDatacenter(spec DatacenterSpec) (DatacenterPlan, error) {
+	if len(spec.TargetPerf) == 0 {
+		return DatacenterPlan{}, fmt.Errorf("core: datacenter spec has no workload targets")
+	}
+	resolved, err := spec.Design.Resolve()
+	if err != nil {
+		return DatacenterPlan{}, err
+	}
+	serverAvail, err := avail.ServerAvailability(spec.ServerMTBFHours, spec.ServerMTTRHours)
+	if err != nil {
+		return DatacenterPlan{}, err
+	}
+
+	plan := DatacenterPlan{Spec: spec}
+	for _, p := range workload.SuiteProfiles() {
+		target, ok := spec.TargetPerf[p.Name]
+		if !ok {
+			continue
+		}
+		ms, err := ev.Evaluate(spec.Design, []workload.Profile{p})
+		if err != nil {
+			return DatacenterPlan{}, err
+		}
+		capacity, err := scaleout.ServersFor(target, ms[0].Perf, spec.Scaling)
+		if err != nil {
+			return DatacenterPlan{}, fmt.Errorf("core: %s pool: %w", p.Name, err)
+		}
+		total, err := avail.ServersForTarget(capacity, serverAvail, spec.AvailabilityTarget)
+		if err != nil {
+			return DatacenterPlan{}, fmt.Errorf("core: %s sparing: %w", p.Name, err)
+		}
+		plan.Pools = append(plan.Pools, PoolPlan{
+			Workload: p.Name,
+			Capacity: capacity,
+			Spares:   total - capacity,
+			Servers:  total,
+		})
+		plan.TotalServers += total
+	}
+
+	density := resolved.Rack.ServersPerRack
+	plan.Racks = (plan.TotalServers + density - 1) / density
+
+	// Server hardware (the resolved BoM; switch share handled by the
+	// fabric below, so use the bare server price).
+	plan.ServerHardwareUSD = float64(plan.TotalServers) * resolved.Server.HardwarePriceUSD()
+
+	// Network fabric, designed for the actual fleet at the paper's
+	// 1 GbE switching class (Figure 1a prices the same $2,750 rack
+	// switch for all platforms regardless of NIC speed).
+	fcfg := fabric.DefaultConfig(plan.TotalServers)
+	fcfg.Oversubscription = spec.FabricOversubscription
+	fplan, err := fabric.Design(fcfg)
+	if err != nil {
+		return DatacenterPlan{}, fmt.Errorf("core: fabric: %w", err)
+	}
+	plan.FabricUSD = fplan.CostUSD
+
+	// Energy: per-server consumed power with consolidation off-peak,
+	// using the BoM-derived idle model (CPU collapses at idle).
+	consumed := ev.Cost.Power.ServerConsumed(resolved.Server, resolved.Rack)
+	peakW := consumed.TotalW()
+	sp := diurnal.ServerPower{IdleW: peakW - 0.8*consumed.CPUW, PeakW: peakW}
+	energy, err := diurnal.EnergyKWhPerDay(plan.TotalServers, sp, spec.Load, diurnal.Consolidate, 0.75)
+	if err != nil {
+		return DatacenterPlan{}, err
+	}
+	plan.EnergyKWhPerDay = energy
+	// Burden the mean consumed power through the Patel–Shah model.
+	meanW := energy * 1e3 / 24 // average watts across the fleet
+	plan.PowerCoolingUSD = ev.Cost.PC.BurdenedUSD(meanW) +
+		ev.Cost.PC.BurdenedUSD(fplan.PowerW)
+
+	plan.RealEstateUSD = spec.RealEstateUSDPerRackYear * ev.Cost.PC.Years * float64(plan.Racks)
+	return plan, nil
+}

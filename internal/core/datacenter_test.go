@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"warehousesim/internal/platform"
+)
+
+func smallTargets() map[string]float64 {
+	return map[string]float64{
+		"websearch": 300,
+		"ytube":     500,
+		"mapred-wc": 0.05, // jobs/s
+	}
+}
+
+func TestPlanDatacenterBasics(t *testing.T) {
+	ev := NewEvaluator()
+	spec := DefaultDatacenterSpec(BaselineDesign(platform.Srvr1()), smallTargets())
+	plan, err := ev.PlanDatacenter(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pools) != 3 {
+		t.Fatalf("pools = %d", len(plan.Pools))
+	}
+	total := 0
+	for _, p := range plan.Pools {
+		if p.Capacity <= 0 || p.Servers < p.Capacity || p.Spares != p.Servers-p.Capacity {
+			t.Errorf("pool %s inconsistent: %+v", p.Workload, p)
+		}
+		total += p.Servers
+	}
+	if total != plan.TotalServers {
+		t.Error("server total mismatch")
+	}
+	if plan.Racks != (plan.TotalServers+39)/40 {
+		t.Errorf("racks = %d for %d servers", plan.Racks, plan.TotalServers)
+	}
+	if plan.TotalUSD() <= 0 || plan.EnergyKWhPerDay <= 0 {
+		t.Error("degenerate dollars/energy")
+	}
+	sum := plan.ServerHardwareUSD + plan.FabricUSD + plan.PowerCoolingUSD + plan.RealEstateUSD
+	if math.Abs(sum-plan.TotalUSD()) > 1e-9 {
+		t.Error("TotalUSD does not sum its parts")
+	}
+}
+
+func TestPlanDatacenterN2CheaperThanSrvr1(t *testing.T) {
+	ev := NewEvaluator()
+	base, err := ev.PlanDatacenter(DefaultDatacenterSpec(BaselineDesign(platform.Srvr1()), smallTargets()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ev.PlanDatacenter(DefaultDatacenterSpec(NewN2(), smallTargets()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's thesis at datacenter scale: the N2 fleet costs less in
+	// total despite needing more servers.
+	if n2.TotalServers <= base.TotalServers {
+		t.Errorf("N2 fleet (%d) should need more servers than srvr1 (%d)",
+			n2.TotalServers, base.TotalServers)
+	}
+	if n2.TotalUSD() >= base.TotalUSD() {
+		t.Errorf("N2 datacenter ($%.0f) not cheaper than srvr1 ($%.0f)",
+			n2.TotalUSD(), base.TotalUSD())
+	}
+	// Compaction: N2 should not need more racks.
+	if n2.Racks > base.Racks {
+		t.Errorf("N2 racks (%d) exceed srvr1 (%d)", n2.Racks, base.Racks)
+	}
+}
+
+func TestPlanDatacenterValidation(t *testing.T) {
+	ev := NewEvaluator()
+	if _, err := ev.PlanDatacenter(DatacenterSpec{Design: NewN1()}); err == nil {
+		t.Error("empty targets accepted")
+	}
+	spec := DefaultDatacenterSpec(NewN1(), smallTargets())
+	spec.ServerMTBFHours = 0
+	if _, err := ev.PlanDatacenter(spec); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	spec = DefaultDatacenterSpec(NewN1(), map[string]float64{"websearch": 1e9})
+	if _, err := ev.PlanDatacenter(spec); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestPlanDatacenterDeterministic(t *testing.T) {
+	run := func() DatacenterPlan {
+		ev := NewEvaluator()
+		p, err := ev.PlanDatacenter(DefaultDatacenterSpec(NewN2(), smallTargets()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := run(), run()
+	if a.TotalServers != b.TotalServers || a.TotalUSD() != b.TotalUSD() {
+		t.Error("planning not deterministic")
+	}
+}

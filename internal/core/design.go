@@ -1,0 +1,240 @@
+// Package core assembles the paper's contribution: ensemble-level
+// server designs combining a base platform, a packaging/cooling
+// architecture, memory sharing across the enclosure, and the disk
+// subsystem — and an evaluation pipeline producing the paper's
+// performance/cost metrics for each (benchmark, design) pair.
+//
+// The two unified designs of §3.6 are provided as NewN1 (near-term:
+// mobile blades in dual-entry enclosures with directed airflow) and
+// NewN2 (longer-term: embedded microblades with aggregated cooling,
+// memory sharing, and flash-fronted remote laptop disks).
+package core
+
+import (
+	"fmt"
+
+	"warehousesim/internal/cooling"
+	"warehousesim/internal/cost"
+	"warehousesim/internal/memblade"
+	"warehousesim/internal/platform"
+)
+
+// StorageKind selects the disk subsystem of a design (§3.5).
+type StorageKind int
+
+// The disk subsystems studied in Table 3.
+const (
+	// LocalDiskStorage is the platform's on-board disk.
+	LocalDiskStorage StorageKind = iota
+	// RemoteLaptopStorage is a laptop disk on the SAN.
+	RemoteLaptopStorage
+	// RemoteLaptopFlashStorage fronts the SAN laptop disk with the
+	// on-board flash cache.
+	RemoteLaptopFlashStorage
+	// RemoteLaptop2FlashStorage uses the cheaper laptop-2 disk variant.
+	RemoteLaptop2FlashStorage
+	// FlashSSDStorage replaces the disk with a flash solid-state device
+	// entirely — the §4 "flash as a disk replacement" extension.
+	FlashSSDStorage
+)
+
+// String implements fmt.Stringer.
+func (k StorageKind) String() string {
+	switch k {
+	case LocalDiskStorage:
+		return "local-disk"
+	case RemoteLaptopStorage:
+		return "remote-laptop"
+	case RemoteLaptopFlashStorage:
+		return "remote-laptop+flash"
+	case RemoteLaptop2FlashStorage:
+		return "remote-laptop2+flash"
+	case FlashSSDStorage:
+		return "flash-ssd"
+	default:
+		return fmt.Sprintf("StorageKind(%d)", int(k))
+	}
+}
+
+// Design is a complete ensemble-level server architecture.
+type Design struct {
+	Name string
+	// Base is the platform the design builds on (Table 2).
+	Base platform.Server
+	// Enclosure selects the packaging/cooling architecture (§3.3).
+	Enclosure cooling.Design
+	// Memory, when non-nil, applies ensemble memory sharing (§3.4); its
+	// AssumedSlowdown feeds the performance model.
+	Memory *memblade.Scheme
+	// Storage selects the disk subsystem (§3.5).
+	Storage StorageKind
+}
+
+// Validate reports structurally invalid designs.
+func (d Design) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("core: design has no name")
+	}
+	if err := d.Base.Validate(); err != nil {
+		return err
+	}
+	if d.Memory != nil {
+		if err := d.Memory.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BaselineDesign wraps a Table 2 platform in the conventional 1U
+// packaging with its local disk — the paper's status quo.
+func BaselineDesign(s platform.Server) Design {
+	return Design{
+		Name:      s.Name,
+		Base:      s,
+		Enclosure: cooling.Conventional,
+		Storage:   LocalDiskStorage,
+	}
+}
+
+// AllBaselines returns the six Table 2 platforms as baseline designs.
+func AllBaselines() []Design {
+	all := platform.All()
+	out := make([]Design, len(all))
+	for i, s := range all {
+		out[i] = BaselineDesign(s)
+	}
+	return out
+}
+
+// NewN1 is the near-term unified design of §3.6: mobile blades housed
+// in dual-entry enclosures with directed airflow; no memory sharing or
+// flash disk caching yet.
+func NewN1() Design {
+	return Design{
+		Name:      "N1",
+		Base:      platform.Mobl(),
+		Enclosure: cooling.DualEntry,
+		Storage:   LocalDiskStorage,
+	}
+}
+
+// NewN2 is the longer-term unified design of §3.6: embedded (emb1-class)
+// microblades with aggregated cooling in a directed-airflow enclosure,
+// ensemble memory sharing (dynamic provisioning), and remote low-power
+// laptop disks with flash-based disk caching.
+func NewN2() Design {
+	scheme := memblade.DynamicScheme()
+	return Design{
+		Name:      "N2",
+		Base:      platform.Emb1(),
+		Enclosure: cooling.AggregatedMicroblade,
+		Memory:    &scheme,
+		Storage:   RemoteLaptopFlashStorage,
+	}
+}
+
+// Resolved is a design lowered onto concrete hardware: the effective
+// per-server BoM (after memory re-provisioning, disk swap and cooling
+// re-design), the rack it is packed into, and bookkeeping for reports.
+type Resolved struct {
+	Design  Design
+	Server  platform.Server
+	Rack    platform.Rack
+	Density int
+	// CoolingEfficiency is the fan-power advantage over conventional
+	// packaging.
+	CoolingEfficiency float64
+}
+
+// minFanPriceUSD floors the shared-plenum fan cost share per server.
+const minFanPriceUSD = 10
+
+// Resolve lowers the design onto concrete hardware.
+func (d Design) Resolve() (Resolved, error) {
+	if err := d.Validate(); err != nil {
+		return Resolved{}, err
+	}
+	srv := d.Base
+
+	// Disk subsystem (§3.5). Remote disks leave the board: their price
+	// and power still accrue per server (the SAN holds one spindle per
+	// server), but the small form factor is what enables microblade
+	// packaging.
+	switch d.Storage {
+	case RemoteLaptopStorage:
+		srv.Disk = platform.DiskLaptop()
+	case RemoteLaptopFlashStorage:
+		srv.Disk = platform.DiskLaptop()
+		fl := platform.FlashCacheDevice()
+		srv.Flash = &fl
+	case RemoteLaptop2FlashStorage:
+		srv.Disk = platform.DiskLaptop2()
+		fl := platform.FlashCacheDevice()
+		srv.Flash = &fl
+	case FlashSSDStorage:
+		// Carry the SSD's economics in the Disk slot so the BoM and
+		// power accounting stay uniform; the performance path uses
+		// cluster.FlashOnlyDisk.
+		ssd := platform.FlashSSD()
+		srv.Disk = platform.Disk{
+			Name:          "flash-ssd",
+			BandwidthMBps: ssd.BandwidthMBps,
+			AvgAccessMs:   ssd.ReadUs / 1e3,
+			CapacityGB:    ssd.CapacityGB,
+			PowerW:        ssd.PowerW,
+			PriceUSD:      ssd.PriceUSD,
+		}
+	}
+
+	// Memory sharing (§3.4).
+	if d.Memory != nil {
+		var err error
+		srv, err = d.Memory.Apply(srv)
+		if err != nil {
+			return Resolved{}, err
+		}
+	}
+
+	// Packaging and cooling (§3.3): recompute fan power from the IT
+	// power under the enclosure's airflow model, and scale the per-server
+	// fan/plenum cost share with it.
+	enc := cooling.EnclosureFor(d.Enclosure)
+	itPower := srv.MaxPowerW() - srv.FanPowerW
+	baseFanPower := srv.FanPowerW
+	newFanPower := enc.FanPowerW(itPower)
+	if newFanPower > baseFanPower && d.Enclosure != cooling.Conventional {
+		// The new enclosures never need more fan power than 1U boxes.
+		newFanPower = baseFanPower
+	}
+	if d.Enclosure != cooling.Conventional {
+		srv.FanPriceUSD = srv.FanPriceUSD * newFanPower / baseFanPower
+		if srv.FanPriceUSD < minFanPriceUSD {
+			srv.FanPriceUSD = minFanPriceUSD
+		}
+		srv.FanPowerW = newFanPower
+	}
+
+	density := enc.Density(srv.MaxPowerW())
+	rack := platform.DefaultRack()
+	// Switch ports scale with density; the per-server switch share stays
+	// constant while racks hold more systems.
+	rack.Name = fmt.Sprintf("42U-%s", enc.Design)
+	rack.SwitchPriceUSD = rack.SwitchPriceUSD * float64(density) / 40
+	rack.SwitchPowerW = rack.SwitchPowerW * float64(density) / 40
+	rack.ServersPerRack = density
+
+	return Resolved{
+		Design:            d,
+		Server:            srv,
+		Rack:              rack,
+		Density:           density,
+		CoolingEfficiency: enc.EfficiencyVsConventional(),
+	}, nil
+}
+
+// ServerTCO is a convenience returning the resolved design's per-server
+// cost triple under the given cost model.
+func (r Resolved) ServerTCO(m cost.Model) (infUSD, pcUSD, totalUSD float64) {
+	return m.ServerTCO(r.Server, r.Rack)
+}

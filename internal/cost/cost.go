@@ -1,0 +1,173 @@
+// Package cost implements the paper's total-cost-of-ownership model
+// (§2.2, Figure 1).
+//
+// The model has two halves:
+//
+//  1. Base hardware cost: per-server component prices (CPU, memory, disk,
+//     board+management, power+fans) cumulated at rack level with the
+//     switch/enclosure share amortized per server.
+//
+//  2. Burdened power & cooling cost, after Patel & Shah:
+//
+//     PowerCoolingCost = (1 + K1 + L1*(1 + K2)) * U_grid * P_consumed
+//
+//     where K1 amortizes the power-delivery infrastructure, L1 is the
+//     cooling-electricity ratio, K2 amortizes the cooling capital, and
+//     U_grid is the electricity tariff. The paper's defaults are
+//     K1=1.33, L1=0.8, K2=0.667 and $100/MWh over a 3-year depreciation
+//     cycle; those reproduce Figure 1(a)'s $2,464 (srvr1) and $1,561
+//     (srvr2) exactly, which the tests pin.
+package cost
+
+import (
+	"fmt"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
+)
+
+// HoursPerYear uses the Julian year (365.25 days) — the value that makes
+// the paper's published P&C dollars come out exactly.
+const HoursPerYear = 8766.0
+
+// PCParams parameterizes the burdened power-and-cooling model.
+type PCParams struct {
+	K1 float64 // amortized power-delivery infrastructure factor
+	L1 float64 // cooling electricity per watt of IT electricity
+	K2 float64 // amortized cooling-infrastructure factor
+
+	TariffUSDPerMWh float64 // electricity tariff (paper range $50–$170)
+	Years           float64 // depreciation cycle
+}
+
+// DefaultPCParams returns the paper's defaults (Figure 1a).
+func DefaultPCParams() PCParams {
+	return PCParams{K1: 1.33, L1: 0.8, K2: 0.667, TariffUSDPerMWh: 100, Years: 3}
+}
+
+// Validate reports nonsensical parameterizations.
+func (p PCParams) Validate() error {
+	switch {
+	case p.K1 < 0 || p.L1 < 0 || p.K2 < 0:
+		return fmt.Errorf("cost: negative burdening factor: K1=%g L1=%g K2=%g", p.K1, p.L1, p.K2)
+	case p.TariffUSDPerMWh <= 0:
+		return fmt.Errorf("cost: non-positive tariff %g", p.TariffUSDPerMWh)
+	case p.Years <= 0:
+		return fmt.Errorf("cost: non-positive depreciation %g years", p.Years)
+	}
+	return nil
+}
+
+// BurdenMultiplier returns (1 + K1 + L1*(1+K2)): burdened dollars per
+// dollar of raw IT electricity.
+func (p PCParams) BurdenMultiplier() float64 {
+	return 1 + p.K1 + p.L1*(1+p.K2)
+}
+
+// BurdenedUSD converts consumed watts into burdened power-and-cooling
+// dollars over the depreciation cycle.
+func (p PCParams) BurdenedUSD(consumedW float64) float64 {
+	mwh := consumedW * HoursPerYear * p.Years / 1e6
+	return p.BurdenMultiplier() * p.TariffUSDPerMWh * mwh
+}
+
+// Breakdown itemizes dollars by cost-model category. HW categories are
+// hardware purchase prices; PC categories are burdened power-and-cooling
+// dollars attributed to the component that consumes the electricity
+// (matching Figure 1(b)'s "CPU P&C", "Fans P&C", ... slices).
+type Breakdown struct {
+	CPUHW, MemHW, DiskHW, BoardHW, FanHW, FlashHW, RackHW float64
+	CPUPC, MemPC, DiskPC, BoardPC, FanPC, FlashPC, RackPC float64
+}
+
+// HardwareUSD sums the hardware categories.
+func (b Breakdown) HardwareUSD() float64 {
+	return b.CPUHW + b.MemHW + b.DiskHW + b.BoardHW + b.FanHW + b.FlashHW + b.RackHW
+}
+
+// PowerCoolingUSD sums the burdened P&C categories.
+func (b Breakdown) PowerCoolingUSD() float64 {
+	return b.CPUPC + b.MemPC + b.DiskPC + b.BoardPC + b.FanPC + b.FlashPC + b.RackPC
+}
+
+// TotalUSD is hardware plus burdened power and cooling — the TCO-$ the
+// paper's headline metric divides performance by.
+func (b Breakdown) TotalUSD() float64 { return b.HardwareUSD() + b.PowerCoolingUSD() }
+
+// Fractions returns each category's share of total cost, keyed by the
+// labels used in Figure 1(b). Useful for rendering breakdown charts.
+func (b Breakdown) Fractions() map[string]float64 {
+	tot := b.TotalUSD()
+	if tot == 0 {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"CPU HW": b.CPUHW / tot, "Mem HW": b.MemHW / tot,
+		"Disk HW": b.DiskHW / tot, "Board HW": b.BoardHW / tot,
+		"Fan HW": b.FanHW / tot, "Flash HW": b.FlashHW / tot,
+		"Rack HW": b.RackHW / tot,
+		"CPU P&C": b.CPUPC / tot, "Mem P&C": b.MemPC / tot,
+		"Disk P&C": b.DiskPC / tot, "Board P&C": b.BoardPC / tot,
+		"Fans P&C": b.FanPC / tot, "Flash P&C": b.FlashPC / tot,
+		"Rack P&C": b.RackPC / tot,
+	}
+}
+
+// Model glues the power model and P&C parameters into a per-server TCO
+// calculator.
+type Model struct {
+	Power power.Model
+	PC    PCParams
+	// RealEstateUSDPerRackYear amortizes datacenter floor space per rack
+	// (§2.2 notes real-estate belongs in an ideal model; the paper's
+	// published dollars exclude it, so the default is 0 and the
+	// abl-realestate experiment sweeps it). Denser packaging divides
+	// this across more servers.
+	RealEstateUSDPerRackYear float64
+}
+
+// DefaultModel returns the paper's default cost model.
+func DefaultModel() Model {
+	return Model{Power: power.DefaultModel(), PC: DefaultPCParams()}
+}
+
+// realEstatePerServer returns the per-server share of floor-space cost
+// over the depreciation cycle.
+func (m Model) realEstatePerServer(rack platform.Rack) float64 {
+	if m.RealEstateUSDPerRackYear <= 0 {
+		return 0
+	}
+	return m.RealEstateUSDPerRackYear * m.PC.Years / float64(rack.ServersPerRack)
+}
+
+// ServerBreakdown computes the full per-server cost breakdown for a
+// server housed in the given rack.
+func (m Model) ServerBreakdown(s platform.Server, rack platform.Rack) Breakdown {
+	pw := m.Power.ServerConsumed(s, rack)
+	b := Breakdown{
+		CPUHW:   s.CPU.PriceUSD,
+		MemHW:   s.Memory.PriceUSD,
+		DiskHW:  s.Disk.PriceUSD,
+		BoardHW: s.BoardPriceUSD,
+		FanHW:   s.FanPriceUSD,
+		RackHW:  rack.SwitchPricePerServer() + m.realEstatePerServer(rack),
+		CPUPC:   m.PC.BurdenedUSD(pw.CPUW),
+		MemPC:   m.PC.BurdenedUSD(pw.MemoryW),
+		DiskPC:  m.PC.BurdenedUSD(pw.DiskW),
+		BoardPC: m.PC.BurdenedUSD(pw.BoardW),
+		FanPC:   m.PC.BurdenedUSD(pw.FanW),
+		RackPC:  m.PC.BurdenedUSD(pw.SwitchW),
+	}
+	if s.Flash != nil {
+		b.FlashHW = s.Flash.PriceUSD
+		b.FlashPC = m.PC.BurdenedUSD(pw.FlashW)
+	}
+	return b
+}
+
+// ServerTCO is a convenience wrapper returning (infrastructure $,
+// burdened P&C $, total $) per server.
+func (m Model) ServerTCO(s platform.Server, rack platform.Rack) (infUSD, pcUSD, totalUSD float64) {
+	b := m.ServerBreakdown(s, rack)
+	return b.HardwareUSD(), b.PowerCoolingUSD(), b.TotalUSD()
+}

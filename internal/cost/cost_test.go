@@ -1,0 +1,167 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
+)
+
+func TestBurdenMultiplier(t *testing.T) {
+	p := DefaultPCParams()
+	// 1 + 1.33 + 0.8*(1+0.667) = 3.6636.
+	want := 1 + 1.33 + 0.8*(1+0.667)
+	if got := p.BurdenMultiplier(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("multiplier = %g, want %g", got, want)
+	}
+}
+
+func TestPCParamsValidate(t *testing.T) {
+	good := DefaultPCParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bads := []func(*PCParams){
+		func(p *PCParams) { p.K1 = -1 },
+		func(p *PCParams) { p.TariffUSDPerMWh = 0 },
+		func(p *PCParams) { p.Years = 0 },
+	}
+	for i, mutate := range bads {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+// Figure 1(a) pins: 3-yr burdened P&C of $2,464 (srvr1) and $1,561
+// (srvr2), total costs $5,758 and $3,249.
+func TestFigure1PowerCoolingDollars(t *testing.T) {
+	m := DefaultModel()
+	rack := platform.DefaultRack()
+
+	_, pc1, tot1 := m.ServerTCO(platform.Srvr1(), rack)
+	if math.Abs(pc1-2464) > 3 {
+		t.Errorf("srvr1 3-yr P&C = $%.0f, paper $2,464", pc1)
+	}
+	if math.Abs(tot1-5758) > 4 {
+		t.Errorf("srvr1 total = $%.0f, paper $5,758", tot1)
+	}
+
+	_, pc2, tot2 := m.ServerTCO(platform.Srvr2(), rack)
+	if math.Abs(pc2-1561) > 3 {
+		t.Errorf("srvr2 3-yr P&C = $%.0f, paper $1,561", pc2)
+	}
+	if math.Abs(tot2-3249) > 4 {
+		t.Errorf("srvr2 total = $%.0f, paper $3,249", tot2)
+	}
+}
+
+// Figure 1(b) pins: for srvr2, CPU HW ~20% and CPU P&C ~22% of total.
+func TestFigure1SrvR2BreakdownShape(t *testing.T) {
+	m := DefaultModel()
+	b := m.ServerBreakdown(platform.Srvr2(), platform.DefaultRack())
+	f := b.Fractions()
+	if got := f["CPU HW"]; math.Abs(got-0.20) > 0.02 {
+		t.Errorf("CPU HW share = %.1f%%, paper ~20%%", got*100)
+	}
+	if got := f["CPU P&C"]; math.Abs(got-0.22) > 0.02 {
+		t.Errorf("CPU P&C share = %.1f%%, paper ~22%%", got*100)
+	}
+	if got := f["Mem HW"]; math.Abs(got-0.11) > 0.02 {
+		t.Errorf("Mem HW share = %.1f%%, paper ~11%%", got*100)
+	}
+	// P&C overall should be comparable to hardware (the paper's headline
+	// observation).
+	hw, pc := b.HardwareUSD(), b.PowerCoolingUSD()
+	if pc < 0.7*hw || pc > 1.3*hw {
+		t.Errorf("P&C ($%.0f) not comparable to HW ($%.0f)", pc, hw)
+	}
+}
+
+func TestBreakdownSumsConsistent(t *testing.T) {
+	m := DefaultModel()
+	rack := platform.DefaultRack()
+	for _, s := range platform.All() {
+		b := m.ServerBreakdown(s, rack)
+		inf, pc, tot := m.ServerTCO(s, rack)
+		if math.Abs(inf+pc-tot) > 1e-9 {
+			t.Errorf("%s: inf+pc != tot", s.Name)
+		}
+		if math.Abs(b.HardwareUSD()-(s.HardwarePriceUSD()+rack.SwitchPricePerServer())) > 1e-9 {
+			t.Errorf("%s: hardware breakdown does not match BoM", s.Name)
+		}
+		sum := 0.0
+		for _, v := range b.Fractions() {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: fractions sum to %g", s.Name, sum)
+		}
+	}
+}
+
+func TestTariffLinearity(t *testing.T) {
+	p := DefaultPCParams()
+	lo, hi := p, p
+	lo.TariffUSDPerMWh = 50
+	hi.TariffUSDPerMWh = 170
+	cLo, cHi := lo.BurdenedUSD(250), hi.BurdenedUSD(250)
+	if math.Abs(cHi/cLo-170.0/50) > 1e-9 {
+		t.Errorf("tariff not linear: %g vs %g", cHi, cLo)
+	}
+}
+
+func TestFlashInBreakdown(t *testing.T) {
+	m := DefaultModel()
+	s := platform.Emb1()
+	fl := platform.FlashCacheDevice()
+	s.Flash = &fl
+	b := m.ServerBreakdown(s, platform.DefaultRack())
+	if b.FlashHW != 14 {
+		t.Errorf("flash HW = %g", b.FlashHW)
+	}
+	if b.FlashPC <= 0 {
+		t.Errorf("flash P&C = %g", b.FlashPC)
+	}
+}
+
+// Property: burdened cost is non-negative and monotone in consumed watts.
+func TestQuickBurdenedMonotone(t *testing.T) {
+	p := DefaultPCParams()
+	f := func(a, b float64) bool {
+		w1 := math.Abs(a)
+		w2 := w1 + math.Abs(b)
+		c1, c2 := p.BurdenedUSD(w1), p.BurdenedUSD(w2)
+		return c1 >= 0 && c2 >= c1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TCO ordering across platforms is preserved under any
+// activity factor (cheaper platforms stay cheaper).
+func TestQuickTCOOrderStableUnderActivityFactor(t *testing.T) {
+	rack := platform.DefaultRack()
+	f := func(seed uint64) bool {
+		af := 0.5 + float64(seed%51)/100 // 0.5..1.0
+		pm, err := power.NewModel(af)
+		if err != nil {
+			return false
+		}
+		m := Model{Power: pm, PC: DefaultPCParams()}
+		_, _, srvr1 := m.ServerTCO(platform.Srvr1(), rack)
+		_, _, srvr2 := m.ServerTCO(platform.Srvr2(), rack)
+		_, _, desk := m.ServerTCO(platform.Desk(), rack)
+		_, _, emb1 := m.ServerTCO(platform.Emb1(), rack)
+		_, _, emb2 := m.ServerTCO(platform.Emb2(), rack)
+		return srvr1 > srvr2 && srvr2 > desk && desk > emb1 && emb1 > emb2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

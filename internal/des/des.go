@@ -1,0 +1,150 @@
+// Package des implements the discrete-event simulation kernel that
+// underlies the performance side of the evaluation infrastructure.
+//
+// The paper evaluated its benchmark suite on the COTSon full-system
+// simulator; this repository substitutes a calibrated queueing simulation
+// (see DESIGN.md §2). The kernel here is deliberately small and
+// allocation-light: a binary-heap event queue with deterministic
+// tie-breaking, plus multi-server resources with FIFO queueing and
+// time-weighted utilization accounting.
+//
+// Models are written in continuation-passing style: an event's action
+// schedules the follow-on events. This avoids goroutine-per-entity
+// simulation, keeps runs single-threaded and reproducible, and lets the
+// benchmark harness simulate hundreds of server-years per wall second.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time float64
+
+// Action is the body of a scheduled event.
+type Action func()
+
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for simultaneous events
+	act  Action
+	heap int // index within the heap, managed by eventHeap
+	dead bool
+}
+
+// EventHandle allows a scheduled event to be cancelled.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.heap = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a single-threaded discrete-event simulator. The zero value is
+// not usable; call NewSim.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewSim returns a simulator positioned at time zero.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far (for tests and
+// runaway detection).
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Schedule runs act after delay (>= 0) of simulated time and returns a
+// handle for cancellation. It panics on negative or NaN delays: those are
+// always model bugs and silently clamping them corrupts results.
+func (s *Sim) Schedule(delay Time, act Action) EventHandle {
+	if delay < 0 || math.IsNaN(float64(delay)) {
+		panic(fmt.Sprintf("des: negative or NaN delay %v at t=%v", delay, s.now))
+	}
+	return s.ScheduleAt(s.now+delay, act)
+}
+
+// ScheduleAt runs act at absolute time at (>= Now).
+func (s *Sim) ScheduleAt(at Time, act Action) EventHandle {
+	if at < s.now {
+		panic(fmt.Sprintf("des: event scheduled in the past: %v < now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, act: act}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return EventHandle{ev}
+}
+
+// Stop halts Run after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue empties, until Stop is called, or
+// until simulated time would pass until. It returns the simulation time
+// at exit. Events scheduled exactly at the horizon still fire.
+func (s *Sim) Run(until Time) Time {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		ev := s.events[0]
+		if ev.at > until {
+			// Advance the clock to the horizon; pending events stay queued.
+			s.now = until
+			return s.now
+		}
+		heap.Pop(&s.events)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.act()
+	}
+	if s.now < until && len(s.events) == 0 {
+		s.now = until
+	}
+	return s.now
+}
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet drained).
+func (s *Sim) Pending() int { return len(s.events) }

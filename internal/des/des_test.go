@@ -1,0 +1,354 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warehousesim/internal/stats"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("final time = %v, want horizon 10", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []Time
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(1, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run(10)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestHorizonStopsClock(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.Schedule(100, func() { fired = true })
+	end := s.Run(10)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if end != 10 {
+		t.Errorf("returned time %v", end)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	// Resuming past the event fires it.
+	s.Run(200)
+	if !fired {
+		t.Error("event did not fire after extending horizon")
+	}
+}
+
+func TestEventAtHorizonFires(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.Schedule(10, func() { fired = true })
+	s.Run(10)
+	if !fired {
+		t.Error("event exactly at horizon did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	h := s.Schedule(5, func() { fired = true })
+	h.Cancel()
+	s.Run(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewSim()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Errorf("events after Stop: count = %d", count)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewSim().Schedule(-1, func() {})
+}
+
+func TestNaNDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN delay did not panic")
+		}
+	}()
+	NewSim().Schedule(Time(math.NaN()), func() {})
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewSim()
+	s.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past event did not panic")
+			}
+		}()
+		s.ScheduleAt(1, func() {})
+	})
+	s.Run(10)
+}
+
+func TestResourceSingleServerSerializes(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "disk", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		r.Submit(2, func() { done = append(done, s.Now()) })
+	}
+	s.Run(100)
+	want := []Time{2, 4, 6}
+	if len(done) != 3 {
+		t.Fatalf("completions = %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceMultiServerParallel(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "cpu", 4)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		r.Submit(3, func() { done = append(done, s.Now()) })
+	}
+	s.Run(100)
+	for _, d := range done {
+		if d != 3 {
+			t.Fatalf("parallel jobs should all finish at t=3: %v", done)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "cpu", 2)
+	r.Submit(5, nil) // one busy server for 5s of a 10s window => 25%
+	s.Run(10)
+	if u := r.Utilization(); math.Abs(u-0.25) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.25", u)
+	}
+}
+
+func TestResourceQueueStats(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "disk", 1)
+	// 3 jobs of 2s each: queue holds 2 jobs for t in (0,2), 1 for (2,4).
+	for i := 0; i < 3; i++ {
+		r.Submit(2, nil)
+	}
+	s.Run(6)
+	want := (2.0*2 + 1.0*2) / 6.0
+	if q := r.MeanQueueLen(); math.Abs(q-want) > 1e-9 {
+		t.Errorf("mean queue len = %g, want %g", q, want)
+	}
+	if c := r.Completed(); c != 3 {
+		t.Errorf("completed = %d", c)
+	}
+}
+
+func TestResourceResetWindow(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "cpu", 1)
+	r.Submit(5, nil)
+	s.Run(5)
+	r.ResetWindow()
+	s.Run(10)
+	if u := r.Utilization(); u != 0 {
+		t.Errorf("utilization after reset = %g, want 0", u)
+	}
+	if c := r.Completed(); c != 0 {
+		t.Errorf("completed after reset = %d", c)
+	}
+}
+
+func TestResourceZeroServicePreservesOrder(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "nic", 1)
+	var order []int
+	r.Submit(0, func() { order = append(order, 0) })
+	r.Submit(0, func() { order = append(order, 1) })
+	s.Run(1)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestResourceNegativeServicePanics(t *testing.T) {
+	s := NewSim()
+	r := NewResource(s, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service did not panic")
+		}
+	}()
+	r.Submit(-1, nil)
+}
+
+func TestResourceBadServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("servers=0 did not panic")
+		}
+	}()
+	NewResource(NewSim(), "x", 0)
+}
+
+// M/M/1 validation: simulated mean response time must match theory
+// R = S/(1-rho) within a few percent.
+func TestMM1AgainstTheory(t *testing.T) {
+	const (
+		lambda = 8.0  // arrivals/s
+		mu     = 10.0 // service rate
+	)
+	s := NewSim()
+	r := NewResource(s, "mm1", 1)
+	rng := stats.NewRNG(42)
+	var lat stats.Summary
+
+	var arrive func()
+	arrive = func() {
+		start := s.Now()
+		r.Submit(Time(rng.ExpFloat64()/mu), func() {
+			if start > 2000 { // warm-up discard
+				lat.Add(float64(s.Now() - start))
+			}
+		})
+		s.Schedule(Time(rng.ExpFloat64()/lambda), arrive)
+	}
+	s.Schedule(0, arrive)
+	s.Run(60000)
+
+	rho := lambda / mu
+	wantR := (1 / mu) / (1 - rho)
+	if got := lat.Mean(); math.Abs(got-wantR)/wantR > 0.05 {
+		t.Errorf("M/M/1 mean response = %g, theory %g", got, wantR)
+	}
+	if u := r.Utilization(); math.Abs(u-rho) > 0.02 {
+		t.Errorf("M/M/1 utilization = %g, theory %g", u, rho)
+	}
+}
+
+// M/M/m validation against Erlang-C waiting probability.
+func TestMMmAgainstTheory(t *testing.T) {
+	const (
+		m      = 4
+		lambda = 3.2
+		mu     = 1.0
+	)
+	s := NewSim()
+	r := NewResource(s, "mmm", m)
+	rng := stats.NewRNG(7)
+	var lat stats.Summary
+
+	var arrive func()
+	arrive = func() {
+		start := s.Now()
+		r.Submit(Time(rng.ExpFloat64()/mu), func() {
+			if start > 2000 {
+				lat.Add(float64(s.Now() - start))
+			}
+		})
+		s.Schedule(Time(rng.ExpFloat64()/lambda), arrive)
+	}
+	s.Schedule(0, arrive)
+	s.Run(40000)
+
+	// Erlang-C.
+	rho := lambda / (m * mu)
+	a := lambda / mu
+	sum := 0.0
+	fact := 1.0
+	for k := 0; k < m; k++ {
+		if k > 0 {
+			fact *= float64(k)
+		}
+		sum += math.Pow(a, float64(k)) / fact
+	}
+	factM := fact * float64(m)
+	pWait := (math.Pow(a, m) / (factM * (1 - rho))) / (sum + math.Pow(a, m)/(factM*(1-rho)))
+	wantR := 1/mu + pWait/(float64(m)*mu-lambda)
+	if got := lat.Mean(); math.Abs(got-wantR)/wantR > 0.05 {
+		t.Errorf("M/M/%d mean response = %g, theory %g", m, got, wantR)
+	}
+}
+
+// Property: total completions never exceed submissions, and utilization
+// stays in [0,1], across random job mixes.
+func TestQuickResourceInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		s := NewSim()
+		servers := 1 + rng.Intn(8)
+		r := NewResource(s, "r", servers)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Schedule(Time(rng.Float64()*10), func() {
+				r.Submit(Time(rng.Float64()*2), nil)
+			})
+		}
+		s.Run(1000)
+		u := r.Utilization()
+		return r.Completed() == uint64(n) && u >= 0 && u <= 1+1e-9 && r.QueueLen() == 0 && r.InService() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package memblade
+
+import (
+	"fmt"
+	"math"
+)
+
+// BladeModel captures the shared memory blade itself (§3.4's "multiple
+// servers are connected to a memory blade"): one blade controller and
+// PCIe fabric serve many compute blades, so per-server fault traffic
+// contends on the blade. The paper's trace methodology ignores this
+// second-order effect ("our trace-based methodology cannot account for
+// the second-order impact of PCIe link contention"); this model bounds
+// it with an M/M/1 approximation, as an extension ablation.
+type BladeModel struct {
+	// ServersPerBlade is the number of compute blades sharing one
+	// memory blade.
+	ServersPerBlade int
+	// PageServiceSec is the blade-side occupancy per page transfer
+	// (DRAM wake from active power-down + page read + link serialization).
+	PageServiceSec float64
+}
+
+// DefaultBladeModel matches the paper's enclosure scale: one memory
+// blade per enclosure serving 8 compute blades, ~2 µs of blade occupancy
+// per 4 KB page (6-cycle DDR2 power-up exit plus the page transfer).
+func DefaultBladeModel() BladeModel {
+	return BladeModel{ServersPerBlade: 8, PageServiceSec: 2e-6}
+}
+
+// Validate reports nonsensical models.
+func (b BladeModel) Validate() error {
+	if b.ServersPerBlade <= 0 {
+		return fmt.Errorf("memblade: blade needs servers > 0")
+	}
+	if b.PageServiceSec <= 0 {
+		return fmt.Errorf("memblade: blade needs positive page service time")
+	}
+	return nil
+}
+
+// Utilization returns the blade utilization when each of the servers
+// faults at missesPerSec.
+func (b BladeModel) Utilization(missesPerSec float64) float64 {
+	return missesPerSec * float64(b.ServersPerBlade) * b.PageServiceSec
+}
+
+// StallInflation returns the multiplier on the per-miss stall caused by
+// queueing at the shared blade (M/M/1 residence over service:
+// 1/(1-rho)). It returns +Inf when the blade saturates.
+func (b BladeModel) StallInflation(missesPerSec float64) float64 {
+	rho := b.Utilization(missesPerSec)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - rho)
+}
+
+// MaxMissRatePerServer returns the per-server fault rate at which the
+// blade reaches the given utilization — the provisioning headroom a
+// blade design must respect.
+func (b BladeModel) MaxMissRatePerServer(targetUtil float64) float64 {
+	if targetUtil <= 0 || targetUtil >= 1 {
+		return 0
+	}
+	return targetUtil / (float64(b.ServersPerBlade) * b.PageServiceSec)
+}
+
+// --- content-based page sharing and compression (§3.4 extensions) -----
+
+// ShareStats summarizes a content-sharing scan of blade-resident pages.
+type ShareStats struct {
+	TotalPages    int64
+	DistinctPages int64
+}
+
+// SharingFactor returns physical pages per logical page (<= 1 means
+// savings; 1 means no sharing).
+func (s ShareStats) SharingFactor() float64 {
+	if s.TotalPages == 0 {
+		return 1
+	}
+	return float64(s.DistinctPages) / float64(s.TotalPages)
+}
+
+// ContentSharing models Waldspurger-style content-based page sharing
+// across the blades behind one memory blade: identical pages (zero
+// pages, shared libraries, common data) are stored once.
+//
+// The model is generative: each logical page draws its content class
+// from a Zipf-like popularity over classes; pages in the same class are
+// identical and fold together. DuplicateClasses controls how much
+// cross-server redundancy exists.
+type ContentSharing struct {
+	// DuplicateFraction is the fraction of pages whose content belongs
+	// to a shared class (the rest are unique).
+	DuplicateFraction float64
+	// ClassesPerDuplicate scales how many distinct shared classes exist
+	// relative to duplicate pages (smaller = more folding).
+	ClassesPerDuplicate float64
+}
+
+// DefaultContentSharing reflects the ~30% typical sharing reported for
+// homogeneous consolidated workloads (ESX-style).
+func DefaultContentSharing() ContentSharing {
+	return ContentSharing{DuplicateFraction: 0.45, ClassesPerDuplicate: 0.35}
+}
+
+// Validate reports nonsensical models.
+func (c ContentSharing) Validate() error {
+	if c.DuplicateFraction < 0 || c.DuplicateFraction > 1 {
+		return fmt.Errorf("memblade: duplicate fraction %g outside [0,1]", c.DuplicateFraction)
+	}
+	if c.ClassesPerDuplicate <= 0 || c.ClassesPerDuplicate > 1 {
+		return fmt.Errorf("memblade: classes per duplicate %g outside (0,1]", c.ClassesPerDuplicate)
+	}
+	return nil
+}
+
+// Apply computes the sharing outcome for totalPages of blade-resident
+// memory across the ensemble.
+func (c ContentSharing) Apply(totalPages int64) (ShareStats, error) {
+	if err := c.Validate(); err != nil {
+		return ShareStats{}, err
+	}
+	dup := float64(totalPages) * c.DuplicateFraction
+	unique := float64(totalPages) - dup
+	distinct := unique + dup*c.ClassesPerDuplicate
+	return ShareStats{
+		TotalPages:    totalPages,
+		DistinctPages: int64(math.Ceil(distinct)),
+	}, nil
+}
+
+// Compression models MXT-style blade-memory compression: blade pages are
+// stored compressed, trading capacity for a per-access decompression
+// latency. Page-granularity blade access amortizes the latency well,
+// which is why the paper lists compression as a natural blade extension.
+type Compression struct {
+	// Ratio is logical/physical (2.0 = 2:1 compression).
+	Ratio float64
+	// DecompressSecPerPage is added to every remote-page fetch.
+	DecompressSecPerPage float64
+}
+
+// DefaultCompression uses MXT's published 2:1 typical ratio and a
+// microsecond-scale page decompression.
+func DefaultCompression() Compression {
+	return Compression{Ratio: 2.0, DecompressSecPerPage: 1e-6}
+}
+
+// Validate reports nonsensical models.
+func (c Compression) Validate() error {
+	if c.Ratio < 1 {
+		return fmt.Errorf("memblade: compression ratio %g below 1", c.Ratio)
+	}
+	if c.DecompressSecPerPage < 0 {
+		return fmt.Errorf("memblade: negative decompression latency")
+	}
+	return nil
+}
+
+// EffectiveScheme folds sharing and/or compression into a provisioning
+// scheme: the blade stores RemoteFraction of the baseline DRAM but only
+// needs physical devices for the deduplicated, compressed bytes; the
+// interconnect stall grows by the decompression latency.
+func EffectiveScheme(base Scheme, sharing *ContentSharing, comp *Compression) (Scheme, Interconnect, error) {
+	ic := PCIeX4()
+	if err := base.Validate(); err != nil {
+		return Scheme{}, ic, err
+	}
+	physical := 1.0
+	if sharing != nil {
+		st, err := sharing.Apply(1 << 20) // factor is size-independent
+		if err != nil {
+			return Scheme{}, ic, err
+		}
+		physical *= st.SharingFactor()
+	}
+	if comp != nil {
+		if err := comp.Validate(); err != nil {
+			return Scheme{}, ic, err
+		}
+		physical /= comp.Ratio
+		ic.Name = ic.Name + "+mxt"
+		ic.StallPerMissSec += comp.DecompressSecPerPage
+	}
+	out := base
+	out.Name = base.Name + "+ext"
+	// The blade buys physical devices only for the folded/compressed
+	// pages; logical capacity is unchanged.
+	out.RemotePhysicalFactor = base.RemotePhysicalFactor * physical
+	return out, ic, nil
+}

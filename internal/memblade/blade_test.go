@@ -1,0 +1,190 @@
+package memblade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warehousesim/internal/platform"
+)
+
+func TestBladeModelValidate(t *testing.T) {
+	if err := DefaultBladeModel().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if (BladeModel{ServersPerBlade: 0, PageServiceSec: 1e-6}).Validate() == nil {
+		t.Error("zero servers accepted")
+	}
+	if (BladeModel{ServersPerBlade: 8, PageServiceSec: 0}).Validate() == nil {
+		t.Error("zero service accepted")
+	}
+}
+
+func TestBladeUtilizationAndInflation(t *testing.T) {
+	b := DefaultBladeModel() // 8 servers, 2µs/page
+	// 10k faults/s/server * 8 * 2µs = 0.16 utilization.
+	if got := b.Utilization(10000); math.Abs(got-0.16) > 1e-12 {
+		t.Errorf("utilization = %g", got)
+	}
+	infl := b.StallInflation(10000)
+	if math.Abs(infl-1/(1-0.16)) > 1e-12 {
+		t.Errorf("inflation = %g", infl)
+	}
+	if !math.IsInf(b.StallInflation(1e9), 1) {
+		t.Error("saturated blade should report infinite inflation")
+	}
+}
+
+func TestBladeHeadroom(t *testing.T) {
+	b := DefaultBladeModel()
+	max := b.MaxMissRatePerServer(0.8)
+	if got := b.Utilization(max); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("headroom inversion failed: util %g", got)
+	}
+	if b.MaxMissRatePerServer(0) != 0 || b.MaxMissRatePerServer(1.5) != 0 {
+		t.Error("invalid target utilization should return 0")
+	}
+}
+
+func TestContentSharing(t *testing.T) {
+	cs := DefaultContentSharing()
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cs.Apply(1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := st.SharingFactor()
+	// 45% duplicates folding to 35% of their count:
+	// distinct = 0.55 + 0.45*0.35 = 0.7075.
+	if math.Abs(f-0.7075) > 0.001 {
+		t.Errorf("sharing factor = %g, want ~0.7075", f)
+	}
+	if st.DistinctPages >= st.TotalPages {
+		t.Error("no sharing achieved")
+	}
+}
+
+func TestContentSharingValidation(t *testing.T) {
+	if (ContentSharing{DuplicateFraction: 1.5, ClassesPerDuplicate: 0.5}).Validate() == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if (ContentSharing{DuplicateFraction: 0.5, ClassesPerDuplicate: 0}).Validate() == nil {
+		t.Error("zero classes accepted")
+	}
+}
+
+func TestShareStatsNoSharingIsOne(t *testing.T) {
+	if f := (ShareStats{}).SharingFactor(); f != 1 {
+		t.Errorf("empty stats factor = %g", f)
+	}
+	none := ContentSharing{DuplicateFraction: 0, ClassesPerDuplicate: 1}
+	st, err := none.Apply(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SharingFactor() != 1 {
+		t.Errorf("no duplicates should mean factor 1, got %g", st.SharingFactor())
+	}
+}
+
+func TestCompressionValidate(t *testing.T) {
+	if err := DefaultCompression().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Compression{Ratio: 0.5}).Validate() == nil {
+		t.Error("ratio < 1 accepted")
+	}
+	if (Compression{Ratio: 2, DecompressSecPerPage: -1}).Validate() == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestEffectiveSchemeCombines(t *testing.T) {
+	base := DynamicScheme()
+	sharing := DefaultContentSharing()
+	comp := DefaultCompression()
+	sc, ic, err := EffectiveScheme(base, &sharing, &comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Physical factor: 0.7075 / 2.0 = 0.354.
+	want := 0.7075 / 2.0
+	if math.Abs(sc.RemotePhysicalFactor-want) > 0.001 {
+		t.Errorf("physical factor = %g, want %g", sc.RemotePhysicalFactor, want)
+	}
+	if ic.StallPerMissSec <= PCIeX4().StallPerMissSec {
+		t.Error("compression should add decompression latency")
+	}
+	// Logical capacity must be preserved through Apply.
+	srv, err := sc.Apply(platform.Emb1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSrv, err := base.Apply(platform.Emb1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Memory.CapacityGB != baseSrv.Memory.CapacityGB {
+		t.Errorf("extensions changed logical capacity: %g vs %g",
+			srv.Memory.CapacityGB, baseSrv.Memory.CapacityGB)
+	}
+	if srv.Memory.PriceUSD >= baseSrv.Memory.PriceUSD {
+		t.Errorf("extensions did not cut memory cost: %g vs %g",
+			srv.Memory.PriceUSD, baseSrv.Memory.PriceUSD)
+	}
+	if srv.Memory.PowerW >= baseSrv.Memory.PowerW {
+		t.Error("extensions did not cut memory power")
+	}
+}
+
+func TestEffectiveSchemeNilExtensions(t *testing.T) {
+	base := StaticScheme()
+	sc, ic, err := EffectiveScheme(base, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.RemotePhysicalFactor != base.RemotePhysicalFactor {
+		t.Error("nil extensions changed the scheme")
+	}
+	if ic != PCIeX4() {
+		t.Error("nil extensions changed the interconnect")
+	}
+}
+
+func TestEffectiveSchemeRejectsInvalid(t *testing.T) {
+	bad := StaticScheme()
+	bad.LocalFraction = 0
+	if _, _, err := EffectiveScheme(bad, nil, nil); err == nil {
+		t.Error("invalid base accepted")
+	}
+	sharing := ContentSharing{DuplicateFraction: 2, ClassesPerDuplicate: 0.5}
+	if _, _, err := EffectiveScheme(StaticScheme(), &sharing, nil); err == nil {
+		t.Error("invalid sharing accepted")
+	}
+	comp := Compression{Ratio: 0.1}
+	if _, _, err := EffectiveScheme(StaticScheme(), nil, &comp); err == nil {
+		t.Error("invalid compression accepted")
+	}
+}
+
+// Property: blade inflation is monotone in fault rate below saturation.
+func TestQuickBladeInflationMonotone(t *testing.T) {
+	b := DefaultBladeModel()
+	limit := b.MaxMissRatePerServer(0.99)
+	f := func(aRaw, bRaw float64) bool {
+		x := math.Mod(math.Abs(aRaw), limit)
+		y := x + math.Mod(math.Abs(bRaw), limit-x+1)
+		if y >= limit {
+			y = limit * 0.999
+		}
+		if y < x {
+			x, y = y, x
+		}
+		return b.StallInflation(y) >= b.StallInflation(x)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package memblade
+
+import "fmt"
+
+// Interconnect models the server-to-memory-blade link: the time the
+// faulting access stalls while the remote page (or its critical block)
+// arrives. Victim writeback is decoupled from the critical path (§3.4),
+// so only the inbound transfer stalls execution.
+type Interconnect struct {
+	Name string
+	// StallPerMissSec is the execution stall per remote-page fault.
+	StallPerMissSec float64
+}
+
+// PCIeX4 is the baseline PCIe 2.0 x4 link: ~4 µs to move a 4 KB page
+// (published round-trip plus DRAM and bus-transfer latencies).
+func PCIeX4() Interconnect {
+	return Interconnect{Name: "pcie-x4", StallPerMissSec: 4e-6}
+}
+
+// CBF is the critical-block-first optimization: the faulting access
+// completes as soon as the needed cache block arrives (~0.75 µs); the
+// rest of the page streams in behind it.
+func CBF() Interconnect {
+	return Interconnect{Name: "cbf", StallPerMissSec: 0.75e-6}
+}
+
+// Slowdown converts replay statistics into the fractional execution
+// slowdown of Figure 4(b):
+//
+//	slowdown = missesPerRequest * accessScale * stall / requestServiceSec
+//
+// accessScale bridges trace granularity to full memory-reference
+// density: the engines trace page touches at data-structure granularity,
+// while the paper's COTSon traces contain every load/store; the scale is
+// calibrated once per workload on the published PCIe/25% cell and then
+// *predicts* the other cells (12.5% split, CBF, LRU). See DESIGN.md §2.
+func Slowdown(st Stats, ic Interconnect, requestServiceSec, accessScale float64) (float64, error) {
+	if requestServiceSec <= 0 {
+		return 0, fmt.Errorf("memblade: request service time must be positive")
+	}
+	if accessScale <= 0 {
+		return 0, fmt.Errorf("memblade: access scale must be positive")
+	}
+	return st.MissesPerRequest() * accessScale * ic.StallPerMissSec / requestServiceSec, nil
+}

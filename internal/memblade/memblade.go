@@ -1,0 +1,260 @@
+// Package memblade implements the paper's ensemble-level memory-sharing
+// architecture (§3.4, Figure 4): each server keeps a small local memory
+// and swaps 4 KB pages against a PCIe-attached memory blade shared by
+// the enclosure.
+//
+// The package has three parts:
+//
+//   - a trace-driven two-level memory simulator: the local memory is an
+//     exclusive page cache with LRU, random or clock victim selection; a
+//     miss swaps the faulting page with a local victim over the blade
+//     interconnect (the paper models LRU and random and expects real
+//     policies in between);
+//
+//   - interconnect latency models: a PCIe 2.0 x4 link moves a 4 KB page
+//     in ~4 µs; the critical-block-first (CBF) optimization completes the
+//     faulting access as soon as the needed block arrives (~0.75 µs);
+//
+//   - the provisioning cost schemes of Figure 4(c): static partitioning
+//     (same total DRAM, 75% moved to the blade) and dynamic provisioning
+//     (85% total DRAM), with the blade using slower 24% cheaper devices
+//     kept in active power-down mode (>90% DRAM power reduction), plus
+//     the per-server PCIe controller share ($10, 1.45 W).
+package memblade
+
+import (
+	"container/list"
+	"fmt"
+
+	"warehousesim/internal/stats"
+	"warehousesim/internal/trace"
+)
+
+// Policy selects the local-memory victim-selection policy.
+type Policy int
+
+// Replacement policies. The paper evaluates LRU and Random, "expecting
+// that an implementable policy would have performance between these
+// points"; Clock is such a policy and is included as an ablation.
+const (
+	LRU Policy = iota
+	Random
+	Clock
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes the two-level memory simulator.
+type Config struct {
+	// FootprintPages is the workload's resident page working set.
+	FootprintPages int64
+	// LocalFraction of the footprint fits in server-local memory (the
+	// paper studies 25% and 12.5%).
+	LocalFraction float64
+	// Policy selects victim selection.
+	Policy Policy
+	// Seed drives the Random policy.
+	Seed uint64
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.FootprintPages <= 0:
+		return fmt.Errorf("memblade: footprint must be positive")
+	case c.LocalFraction <= 0 || c.LocalFraction > 1:
+		return fmt.Errorf("memblade: local fraction %g outside (0,1]", c.LocalFraction)
+	}
+	return nil
+}
+
+// Stats summarizes a replay.
+type Stats struct {
+	Accesses int64
+	Misses   int64
+	// Writebacks counts dirty victim pages written back to the blade
+	// (the paper decouples these from the critical path; they are
+	// reported for the ablation benches).
+	Writebacks int64
+	Requests   int64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MissesPerRequest returns mean page faults per request.
+func (s Stats) MissesPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Requests)
+}
+
+// Sim is the two-level memory simulator.
+type Sim struct {
+	cfg      Config
+	capacity int
+
+	// Residency structures; which are active depends on the policy.
+	resident map[int64]*list.Element // LRU: page -> list node
+	order    *list.List              // LRU order, front = most recent
+
+	slots   []int64        // Random/Clock: resident pages
+	index   map[int64]int  // Random/Clock: page -> slot
+	refBits []bool         // Clock
+	hand    int            // Clock
+	dirty   map[int64]bool // dirty residents (all policies)
+	rng     *stats.RNG     // Random policy
+	stats   Stats
+}
+
+// New builds a simulator with cold (empty) local memory.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := int(float64(cfg.FootprintPages) * cfg.LocalFraction)
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Sim{
+		cfg:      cfg,
+		capacity: capacity,
+		dirty:    make(map[int64]bool),
+		rng:      stats.NewRNG(cfg.Seed),
+	}
+	switch cfg.Policy {
+	case LRU:
+		s.resident = make(map[int64]*list.Element, capacity)
+		s.order = list.New()
+	default:
+		s.slots = make([]int64, 0, capacity)
+		s.index = make(map[int64]int, capacity)
+		if cfg.Policy == Clock {
+			s.refBits = make([]bool, 0, capacity)
+		}
+	}
+	return s, nil
+}
+
+// Capacity returns the local-memory capacity in pages.
+func (s *Sim) Capacity() int { return s.capacity }
+
+// Access references a page; it returns true on a local hit. A miss
+// evicts a victim (by the configured policy) and installs the page —
+// the exclusive swap of §3.4.
+func (s *Sim) Access(page int64, write bool) bool {
+	s.stats.Accesses++
+	hit := false
+	switch s.cfg.Policy {
+	case LRU:
+		if el, ok := s.resident[page]; ok {
+			s.order.MoveToFront(el)
+			hit = true
+		}
+	default:
+		if i, ok := s.index[page]; ok {
+			if s.cfg.Policy == Clock {
+				s.refBits[i] = true
+			}
+			hit = true
+		}
+	}
+	if hit {
+		if write {
+			s.dirty[page] = true
+		}
+		return true
+	}
+
+	s.stats.Misses++
+	s.install(page)
+	if write {
+		s.dirty[page] = true
+	}
+	return false
+}
+
+func (s *Sim) install(page int64) {
+	switch s.cfg.Policy {
+	case LRU:
+		if s.order.Len() >= s.capacity {
+			el := s.order.Back()
+			victim := el.Value.(int64)
+			s.order.Remove(el)
+			delete(s.resident, victim)
+			s.evictAccounting(victim)
+		}
+		s.resident[page] = s.order.PushFront(page)
+	case Random:
+		if len(s.slots) >= s.capacity {
+			i := s.rng.Intn(len(s.slots))
+			victim := s.slots[i]
+			delete(s.index, victim)
+			s.evictAccounting(victim)
+			s.slots[i] = page
+			s.index[page] = i
+			return
+		}
+		s.index[page] = len(s.slots)
+		s.slots = append(s.slots, page)
+	case Clock:
+		if len(s.slots) >= s.capacity {
+			for {
+				if s.refBits[s.hand] {
+					s.refBits[s.hand] = false
+					s.hand = (s.hand + 1) % len(s.slots)
+					continue
+				}
+				victim := s.slots[s.hand]
+				delete(s.index, victim)
+				s.evictAccounting(victim)
+				s.slots[s.hand] = page
+				s.index[page] = s.hand
+				s.refBits[s.hand] = true
+				s.hand = (s.hand + 1) % len(s.slots)
+				return
+			}
+		}
+		s.index[page] = len(s.slots)
+		s.slots = append(s.slots, page)
+		s.refBits = append(s.refBits, true)
+	}
+}
+
+func (s *Sim) evictAccounting(victim int64) {
+	if s.dirty[victim] {
+		s.stats.Writebacks++
+		delete(s.dirty, victim)
+	}
+}
+
+// Stats returns the accumulated counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Replay runs a page trace through the simulator and returns the stats
+// (requests counted from the trace's boundaries).
+func Replay(s *Sim, t *trace.PageTrace) Stats {
+	for _, a := range t.Accesses {
+		s.Access(a.Page, a.Write)
+	}
+	s.stats.Requests += int64(t.Requests())
+	return s.stats
+}

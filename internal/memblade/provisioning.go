@@ -1,0 +1,104 @@
+package memblade
+
+import (
+	"fmt"
+
+	"warehousesim/internal/platform"
+)
+
+// Scheme is one of the Figure 4(c) provisioning cost scenarios: how
+// much DRAM stays server-local, how much moves to the memory blade, and
+// the blade-side device economics.
+type Scheme struct {
+	Name string
+	// LocalFraction of the baseline DRAM stays on the server.
+	LocalFraction float64
+	// RemoteFraction of the baseline DRAM sits on the memory blade.
+	// Local+Remote is 1.0 for static partitioning and 0.85 for dynamic
+	// provisioning (20% of blades use only local memory).
+	RemoteFraction float64
+	// RemoteDiscount: blade devices are slower but cheaper ("24%
+	// cheaper", §3.4).
+	RemoteDiscount float64
+	// RemotePowerFactor: blade DRAM stays in active power-down mode,
+	// cutting DRAM power by more than 90% (factor 0.1).
+	RemotePowerFactor float64
+	// PCIeCostUSD and PCIePowerW are the per-server (x4 lane) share of
+	// the blade controller ($10, 1.45 W).
+	PCIeCostUSD float64
+	PCIePowerW  float64
+	// AssumedSlowdown is the performance cost applied uniformly (the
+	// paper assumes 2% across benchmarks for the cost analysis).
+	AssumedSlowdown float64
+	// RemotePhysicalFactor is the physical DRAM bought per logical byte
+	// on the blade (1.0 normally; below 1 with content-based page
+	// sharing or compression — the §3.4 extensions). It scales blade
+	// price and power but not logical capacity.
+	RemotePhysicalFactor float64
+}
+
+// StaticScheme keeps the baseline's total DRAM: 25% local, 75% remote.
+func StaticScheme() Scheme {
+	return Scheme{
+		Name:                 "static",
+		LocalFraction:        0.25,
+		RemoteFraction:       0.75,
+		RemoteDiscount:       0.24,
+		RemotePowerFactor:    0.10,
+		PCIeCostUSD:          10,
+		PCIePowerW:           1.45,
+		AssumedSlowdown:      0.02,
+		RemotePhysicalFactor: 1.0,
+	}
+}
+
+// DynamicScheme right-provisions to 85% of the baseline DRAM: 25%
+// local, 60% remote (20% of blades use only their local memory).
+func DynamicScheme() Scheme {
+	s := StaticScheme()
+	s.Name = "dynamic"
+	s.RemoteFraction = 0.60
+	return s
+}
+
+// Validate reports nonsensical schemes.
+func (sc Scheme) Validate() error {
+	switch {
+	case sc.LocalFraction <= 0 || sc.LocalFraction > 1:
+		return fmt.Errorf("memblade: local fraction %g outside (0,1]", sc.LocalFraction)
+	case sc.RemoteFraction < 0:
+		return fmt.Errorf("memblade: negative remote fraction")
+	case sc.RemoteDiscount < 0 || sc.RemoteDiscount >= 1:
+		return fmt.Errorf("memblade: discount %g outside [0,1)", sc.RemoteDiscount)
+	case sc.RemotePowerFactor < 0 || sc.RemotePowerFactor > 1:
+		return fmt.Errorf("memblade: power factor %g outside [0,1]", sc.RemotePowerFactor)
+	case sc.AssumedSlowdown < 0 || sc.AssumedSlowdown >= 1:
+		return fmt.Errorf("memblade: slowdown %g outside [0,1)", sc.AssumedSlowdown)
+	case sc.RemotePhysicalFactor <= 0 || sc.RemotePhysicalFactor > 1:
+		return fmt.Errorf("memblade: physical factor %g outside (0,1]", sc.RemotePhysicalFactor)
+	}
+	return nil
+}
+
+// Apply returns the server with its memory subsystem re-provisioned
+// under the scheme: the local DIMMs shrink to LocalFraction, the blade
+// share is amortized back per server at the discounted price and
+// powered-down rate, and the PCIe controller share is added.
+func (sc Scheme) Apply(s platform.Server) (platform.Server, error) {
+	if err := sc.Validate(); err != nil {
+		return platform.Server{}, err
+	}
+	basePrice := s.Memory.PriceUSD
+	basePower := s.Memory.PowerW
+	baseCap := s.Memory.CapacityGB
+
+	physical := sc.RemoteFraction * sc.RemotePhysicalFactor
+	s.Memory.PriceUSD = basePrice*sc.LocalFraction +
+		basePrice*physical*(1-sc.RemoteDiscount) +
+		sc.PCIeCostUSD
+	s.Memory.PowerW = basePower*sc.LocalFraction +
+		basePower*physical*sc.RemotePowerFactor +
+		sc.PCIePowerW
+	s.Memory.CapacityGB = baseCap * (sc.LocalFraction + sc.RemoteFraction)
+	return s, nil
+}

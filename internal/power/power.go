@@ -1,0 +1,86 @@
+// Package power implements the paper's power model (§2.2).
+//
+// Component powers come from the platform catalog (maximum operational
+// power from spec sheets and vendor calculators). Because actual
+// consumption is documented to run below worst case (Fan et al.), the
+// model applies an activity factor — 0.75 by default, with the paper's
+// sensitivity range 0.5–1.0 available for the ablation benches.
+package power
+
+import (
+	"fmt"
+
+	"warehousesim/internal/platform"
+)
+
+// DefaultActivityFactor is the paper's default scaling from maximum
+// operational power to expected consumption.
+const DefaultActivityFactor = 0.75
+
+// Breakdown itemizes consumed watts by the paper's cost-model categories.
+type Breakdown struct {
+	CPUW    float64
+	MemoryW float64
+	DiskW   float64
+	BoardW  float64
+	FanW    float64
+	FlashW  float64
+	SwitchW float64 // per-server share of rack switch power
+}
+
+// TotalW sums all categories.
+func (b Breakdown) TotalW() float64 {
+	return b.CPUW + b.MemoryW + b.DiskW + b.BoardW + b.FanW + b.FlashW + b.SwitchW
+}
+
+// Model computes consumed power for servers and racks.
+type Model struct {
+	// ActivityFactor scales maximum operational power to expected power
+	// (0.5–1.0; the paper's results are qualitatively similar across the
+	// range, which the ablation bench verifies).
+	ActivityFactor float64
+}
+
+// NewModel returns a model with the given activity factor.
+func NewModel(activityFactor float64) (Model, error) {
+	if activityFactor <= 0 || activityFactor > 1 {
+		return Model{}, fmt.Errorf("power: activity factor %g outside (0,1]", activityFactor)
+	}
+	return Model{ActivityFactor: activityFactor}, nil
+}
+
+// DefaultModel returns the paper's default model (activity factor 0.75).
+func DefaultModel() Model {
+	return Model{ActivityFactor: DefaultActivityFactor}
+}
+
+// ServerConsumed returns the per-server consumed-power breakdown
+// including the rack-switch share, all scaled by the activity factor.
+func (m Model) ServerConsumed(s platform.Server, rack platform.Rack) Breakdown {
+	af := m.ActivityFactor
+	b := Breakdown{
+		CPUW:    s.CPU.PowerW * af,
+		MemoryW: s.Memory.PowerW * af,
+		DiskW:   s.Disk.PowerW * af,
+		BoardW:  s.BoardPowerW * af,
+		FanW:    s.FanPowerW * af,
+		SwitchW: rack.SwitchPowerPerServerW() * af,
+	}
+	if s.Flash != nil {
+		b.FlashW = s.Flash.PowerW * af
+	}
+	return b
+}
+
+// RackConsumedW returns total consumed watts for a full rack.
+func (m Model) RackConsumedW(s platform.Server, rack platform.Rack) float64 {
+	per := m.ServerConsumed(s, rack).TotalW()
+	return per * float64(rack.ServersPerRack)
+}
+
+// RackNameplateW returns the rack's maximum operational (nameplate-style)
+// power without the activity factor — the figure quoted in §3.2's
+// "13.6 kW/rack" comparison.
+func RackNameplateW(s platform.Server, rack platform.Rack) float64 {
+	return s.MaxPowerW() * float64(rack.ServersPerRack)
+}

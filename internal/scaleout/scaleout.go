@@ -1,0 +1,158 @@
+// Package scaleout models the cluster-level concerns the paper's §4
+// raises but "simplistically ignores": Amdahl's-law limits on
+// partitioning work across many small servers, and service-capacity
+// sizing (how many servers, racks and dollars a design needs to serve a
+// target aggregate load).
+//
+// The scaling model is the Universal Scalability Law — throughput of N
+// servers is N/(1 + sigma*(N-1) + kappa*N*(N-1)) times one server's —
+// which captures both the serialization/imbalance term the paper
+// mentions (decreased algorithmic efficiency, larger data structures)
+// and the crosstalk term (coordination, fan-in networking overheads).
+package scaleout
+
+import (
+	"fmt"
+	"math"
+)
+
+// USL is a Universal-Scalability-Law parameterization.
+type USL struct {
+	// Sigma is the serialization/contention coefficient.
+	Sigma float64
+	// Kappa is the coherency/crosstalk coefficient.
+	Kappa float64
+}
+
+// Validate reports nonsensical parameterizations.
+func (u USL) Validate() error {
+	if u.Sigma < 0 || u.Kappa < 0 {
+		return fmt.Errorf("scaleout: negative USL coefficients %+v", u)
+	}
+	if u.Sigma >= 1 {
+		return fmt.Errorf("scaleout: sigma %g >= 1 leaves no parallel work", u.Sigma)
+	}
+	return nil
+}
+
+// PerfectScaling is the paper's simplifying assumption (cluster
+// performance is the aggregation of single machines).
+func PerfectScaling() USL { return USL{} }
+
+// TypicalScaleOut reflects a well-partitioned internet-sector service:
+// small serialization, tiny crosstalk (ceiling ~500x one server).
+func TypicalScaleOut() USL { return USL{Sigma: 0.002, Kappa: 5e-8} }
+
+// SearchLike reflects a fan-out/fan-in service such as websearch, where
+// the paper warns of latency variability and merge overheads at extreme
+// scale-out (ceiling ~100x one server).
+func SearchLike() USL { return USL{Sigma: 0.01, Kappa: 1e-6} }
+
+// Speedup returns the throughput multiple of n servers over one.
+func (u USL) Speedup(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return n / (1 + u.Sigma*(n-1) + u.Kappa*n*(n-1))
+}
+
+// Efficiency returns per-server efficiency at n servers.
+func (u USL) Efficiency(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return u.Speedup(n) / n
+}
+
+// PeakN returns the server count at which aggregate throughput peaks
+// (+Inf when kappa is zero — throughput then grows monotonically).
+func (u USL) PeakN() float64 {
+	if u.Kappa == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt((1 - u.Sigma) / u.Kappa)
+}
+
+// MaxSpeedup returns the highest achievable throughput multiple.
+func (u USL) MaxSpeedup() float64 {
+	n := u.PeakN()
+	if math.IsInf(n, 1) {
+		if u.Sigma == 0 {
+			return math.Inf(1)
+		}
+		return 1 / u.Sigma
+	}
+	return u.Speedup(n)
+}
+
+// ServersFor returns the smallest integer server count whose aggregate
+// throughput meets target, given one server's throughput. It fails when
+// the USL ceiling is below the target.
+func ServersFor(targetAggregate, perServer float64, u USL) (int, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	if perServer <= 0 || targetAggregate <= 0 {
+		return 0, fmt.Errorf("scaleout: non-positive rates target=%g per=%g", targetAggregate, perServer)
+	}
+	need := targetAggregate / perServer
+	if need <= 1 {
+		return 1, nil
+	}
+	if u.MaxSpeedup() <= need {
+		return 0, fmt.Errorf("scaleout: target needs %.1fx one server but scaling tops out at %.1fx",
+			need, u.MaxSpeedup())
+	}
+	// Speedup is unimodal with a single crossing of `need` below PeakN;
+	// binary search the integer ceiling. Invariant: speedup(lo) < need,
+	// speedup(hi) >= need.
+	lo, hi := 1, 2
+	for u.Speedup(float64(hi)) < need {
+		lo = hi
+		hi *= 2
+		if hi > 1<<40 {
+			return 0, fmt.Errorf("scaleout: runaway search for target %g", targetAggregate)
+		}
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if u.Speedup(float64(mid)) >= need {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// Deployment is the datacenter-level roll-up of a sized service.
+type Deployment struct {
+	Servers int
+	Racks   int
+	// TCOUSD is total lifecycle dollars (per-server TCO x servers).
+	TCOUSD float64
+	// PowerW is total consumed power.
+	PowerW float64
+	// Efficiency is the per-server efficiency at this scale.
+	Efficiency float64
+}
+
+// Size rolls a sized service up to deployment level.
+func Size(targetAggregate, perServerPerf float64, u USL,
+	serversPerRack int, perServerTCOUSD, perServerPowerW float64) (Deployment, error) {
+	if serversPerRack <= 0 {
+		return Deployment{}, fmt.Errorf("scaleout: need servers per rack > 0")
+	}
+	n, err := ServersFor(targetAggregate, perServerPerf, u)
+	if err != nil {
+		return Deployment{}, err
+	}
+	racks := (n + serversPerRack - 1) / serversPerRack
+	return Deployment{
+		Servers:    n,
+		Racks:      racks,
+		TCOUSD:     float64(n) * perServerTCOUSD,
+		PowerW:     float64(n) * perServerPowerW,
+		Efficiency: u.Efficiency(float64(n)),
+	}, nil
+}

@@ -1,0 +1,150 @@
+package scaleout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUSLValidate(t *testing.T) {
+	if err := TypicalScaleOut().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (USL{Sigma: -0.1}).Validate() == nil {
+		t.Error("negative sigma accepted")
+	}
+	if (USL{Sigma: 1.0}).Validate() == nil {
+		t.Error("sigma=1 accepted")
+	}
+}
+
+func TestPerfectScalingIsLinear(t *testing.T) {
+	u := PerfectScaling()
+	for _, n := range []float64{1, 10, 1000, 1e6} {
+		if got := u.Speedup(n); math.Abs(got-n) > 1e-9 {
+			t.Errorf("Speedup(%g) = %g", n, got)
+		}
+	}
+	if !math.IsInf(u.MaxSpeedup(), 1) {
+		t.Error("perfect scaling should have no ceiling")
+	}
+}
+
+func TestAmdahlLimit(t *testing.T) {
+	// With kappa=0, speedup asymptotes at 1/sigma (Amdahl).
+	u := USL{Sigma: 0.05}
+	if got := u.MaxSpeedup(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("Amdahl ceiling = %g, want 20", got)
+	}
+	if got := u.Speedup(1e9); got > 20 {
+		t.Errorf("speedup %g exceeded the Amdahl ceiling", got)
+	}
+}
+
+func TestPeakN(t *testing.T) {
+	u := SearchLike()
+	n := u.PeakN()
+	if math.IsInf(n, 1) || n <= 1 {
+		t.Fatalf("peak N = %g", n)
+	}
+	// Throughput must fall beyond the peak.
+	if u.Speedup(n*2) >= u.Speedup(n) {
+		t.Error("throughput did not decline past the USL peak")
+	}
+}
+
+func TestEfficiencyDecreases(t *testing.T) {
+	u := TypicalScaleOut()
+	prev := 1.1
+	for _, n := range []float64{1, 10, 100, 1000} {
+		e := u.Efficiency(n)
+		if e > prev {
+			t.Fatalf("efficiency increased at n=%g", n)
+		}
+		prev = e
+	}
+	if u.Efficiency(1) != 1 {
+		t.Errorf("efficiency(1) = %g", u.Efficiency(1))
+	}
+}
+
+func TestServersFor(t *testing.T) {
+	// Perfect scaling: exact division.
+	n, err := ServersFor(1000, 10, PerfectScaling())
+	if err != nil || n != 100 {
+		t.Fatalf("perfect: %d, %v", n, err)
+	}
+	// Sub-unit target: one server.
+	n, err = ServersFor(5, 10, TypicalScaleOut())
+	if err != nil || n != 1 {
+		t.Fatalf("small target: %d, %v", n, err)
+	}
+	// Realistic scaling needs more servers than the naive count
+	// (TypicalScaleOut tops out at ~44x, so target well below that).
+	naive := 30
+	n, err = ServersFor(float64(naive)*10, 10, TypicalScaleOut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= naive {
+		t.Errorf("USL sizing %d not above naive %d", n, naive)
+	}
+	// The returned count actually meets the target...
+	u := TypicalScaleOut()
+	if u.Speedup(float64(n))*10 < float64(naive)*10 {
+		t.Error("returned count misses the target")
+	}
+	// ...and is minimal.
+	if u.Speedup(float64(n-1))*10 >= float64(naive)*10 {
+		t.Error("returned count is not minimal")
+	}
+}
+
+func TestServersForUnreachable(t *testing.T) {
+	u := USL{Sigma: 0.1} // ceiling 10x
+	if _, err := ServersFor(200, 10, u); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	if _, err := ServersFor(-1, 10, u); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := ServersFor(10, 0, u); err == nil {
+		t.Error("zero per-server rate accepted")
+	}
+}
+
+func TestSizeRollup(t *testing.T) {
+	d, err := Size(800, 25, TypicalScaleOut(), 40, 882, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Servers <= 0 || d.Racks != (d.Servers+39)/40 {
+		t.Fatalf("bad rollup %+v", d)
+	}
+	if math.Abs(d.TCOUSD-float64(d.Servers)*882) > 1e-9 {
+		t.Error("TCO rollup wrong")
+	}
+	if d.Efficiency <= 0 || d.Efficiency > 1 {
+		t.Errorf("efficiency = %g", d.Efficiency)
+	}
+	if _, err := Size(100, 25, TypicalScaleOut(), 0, 1, 1); err == nil {
+		t.Error("zero rack size accepted")
+	}
+}
+
+// Property: speedup never exceeds n and efficiency stays in (0, 1].
+func TestQuickUSLBounds(t *testing.T) {
+	f := func(sRaw, kRaw, nRaw float64) bool {
+		u := USL{
+			Sigma: math.Mod(math.Abs(sRaw), 0.99),
+			Kappa: math.Mod(math.Abs(kRaw), 0.001),
+		}
+		n := 1 + math.Mod(math.Abs(nRaw), 1e5)
+		sp := u.Speedup(n)
+		eff := u.Efficiency(n)
+		return sp <= n+1e-9 && eff > 0 && eff <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

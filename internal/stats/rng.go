@@ -1,0 +1,125 @@
+// Package stats provides the deterministic random-number and statistics
+// substrate used by every simulator in this repository.
+//
+// All model randomness flows through RNG so that experiments are
+// reproducible bit-for-bit from a seed. The package also provides the
+// probability distributions the paper's workload generators need (Zipf
+// keyword popularity, exponential think times, log-normal object sizes,
+// empirical action mixes) and the measurement helpers (histograms,
+// percentile trackers, harmonic means) used to compute QoS-constrained
+// throughput.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64* with a splitmix64-seeded state). It intentionally does not
+// use math/rand so that the generated streams are stable across Go
+// releases; the paper's experiments must replay identically forever.
+//
+// The zero value is not valid; use NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed. Two generators built from
+// the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *RNG) Seed(seed uint64) {
+	// splitmix64 step guarantees a well-mixed, non-zero state even for
+	// small or zero seeds.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Split returns a new generator whose stream is derived from, but
+// statistically independent of, the receiver's. It is the supported way
+// to hand child components their own randomness without coupling their
+// consumption rates.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full float53 resolution.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n called with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	// Inverse-CDF; clamp the uniform away from 0 to avoid +Inf.
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1 - u)
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

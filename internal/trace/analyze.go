@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageStats summarizes a page trace's locality characteristics — the
+// quantities that determine memory-blade behavior.
+type PageStats struct {
+	Accesses int
+	Requests int
+	// Distinct is the number of unique pages touched (the observed
+	// working set).
+	Distinct int
+	// WriteFraction of accesses are writes.
+	WriteFraction float64
+	// ReuseFactor is accesses per distinct page (1.0 = no reuse).
+	ReuseFactor float64
+	// Hot90 is the smallest number of pages covering 90% of accesses —
+	// the knee the local-memory sizing rides on.
+	Hot90 int
+	// MaxPage is the highest page id seen (footprint lower bound).
+	MaxPage int64
+}
+
+// String renders a one-line summary.
+func (s PageStats) String() string {
+	return fmt.Sprintf("accesses=%d requests=%d distinct=%d reuse=%.2fx writes=%.0f%% hot90=%d",
+		s.Accesses, s.Requests, s.Distinct, s.ReuseFactor, s.WriteFraction*100, s.Hot90)
+}
+
+// AnalyzePages computes locality statistics for a trace.
+func AnalyzePages(t *PageTrace) PageStats {
+	st := PageStats{Accesses: len(t.Accesses), Requests: t.Requests()}
+	if st.Accesses == 0 {
+		return st
+	}
+	counts := make(map[int64]int, 1024)
+	writes := 0
+	for _, a := range t.Accesses {
+		counts[a.Page]++
+		if a.Write {
+			writes++
+		}
+		if a.Page > st.MaxPage {
+			st.MaxPage = a.Page
+		}
+	}
+	st.Distinct = len(counts)
+	st.WriteFraction = float64(writes) / float64(st.Accesses)
+	st.ReuseFactor = float64(st.Accesses) / float64(st.Distinct)
+
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	target := int(0.9 * float64(st.Accesses))
+	cum := 0
+	for i, c := range freqs {
+		cum += c
+		if cum >= target {
+			st.Hot90 = i + 1
+			break
+		}
+	}
+	return st
+}

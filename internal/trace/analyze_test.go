@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"warehousesim/internal/stats"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := AnalyzePages(&PageTrace{})
+	if st.Accesses != 0 || st.Distinct != 0 || st.Hot90 != 0 {
+		t.Errorf("empty analysis = %+v", st)
+	}
+}
+
+func TestAnalyzeHandTrace(t *testing.T) {
+	tr := &PageTrace{
+		Accesses: []PageAccess{
+			{Page: 1}, {Page: 1}, {Page: 1, Write: true},
+			{Page: 2}, {Page: 3},
+		},
+		RequestEnds: []int{3, 5},
+	}
+	st := AnalyzePages(tr)
+	if st.Accesses != 5 || st.Requests != 2 || st.Distinct != 3 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if math.Abs(st.WriteFraction-0.2) > 1e-12 {
+		t.Errorf("write fraction = %g", st.WriteFraction)
+	}
+	if math.Abs(st.ReuseFactor-5.0/3) > 1e-12 {
+		t.Errorf("reuse = %g", st.ReuseFactor)
+	}
+	// 90% of 5 accesses = 4.5 -> target 4: page 1 (3) + one more = 2 pages.
+	if st.Hot90 != 2 {
+		t.Errorf("hot90 = %d, want 2", st.Hot90)
+	}
+	if st.MaxPage != 3 {
+		t.Errorf("max page = %d", st.MaxPage)
+	}
+}
+
+func TestAnalyzeZipfSkew(t *testing.T) {
+	sp, err := NewSyntheticPages(10000, 1.1, 10, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(4)
+	tr := CollectPages(sp, r, 5000)
+	st := AnalyzePages(tr)
+	// Heavy skew: hot-90 must be far below the distinct count.
+	if st.Hot90 >= st.Distinct/2 {
+		t.Errorf("no skew detected: hot90=%d distinct=%d", st.Hot90, st.Distinct)
+	}
+	if st.ReuseFactor <= 2 {
+		t.Errorf("reuse too low for zipf(1.1): %g", st.ReuseFactor)
+	}
+	if s := st.String(); s == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestAnalyzeUniformNoSkew(t *testing.T) {
+	// Near-uniform popularity: hot90 approaches 90% of distinct pages.
+	sp, err := NewSyntheticPages(500, 0.01, 5, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(6)
+	tr := CollectPages(sp, r, 4000)
+	st := AnalyzePages(tr)
+	if float64(st.Hot90) < 0.6*float64(st.Distinct) {
+		t.Errorf("uniform trace looks skewed: hot90=%d distinct=%d", st.Hot90, st.Distinct)
+	}
+}

@@ -1,0 +1,69 @@
+package mapreduce
+
+import (
+	"regexp"
+	"strconv"
+)
+
+// GrepMapper emits (matched-fragment, 1) for every regexp match in each
+// record — the classic distributed-grep example from the MapReduce
+// paper, included as a second CPU-heavier application.
+type GrepMapper struct {
+	re *regexp.Regexp
+}
+
+// NewGrepMapper compiles the pattern.
+func NewGrepMapper(pattern string) (*GrepMapper, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &GrepMapper{re: re}, nil
+}
+
+// Map implements Mapper.
+func (g *GrepMapper) Map(record string, emit func(key, value string)) {
+	for _, m := range g.re.FindAllString(record, -1) {
+		emit(m, "1")
+	}
+}
+
+// GrepJob builds a distributed-grep job counting occurrences of each
+// matched fragment.
+func GrepJob(input, output, pattern string) (Job, error) {
+	m, err := NewGrepMapper(pattern)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{
+		Name:        "grep",
+		Input:       input,
+		Output:      output,
+		Mapper:      m,
+		Reducer:     SumReducer{},
+		Combiner:    SumReducer{},
+		ReduceTasks: 8,
+	}, nil
+}
+
+// TopKReducer keeps only keys whose summed count reaches Threshold — a
+// simple filter stage used by the grep pipeline to emit frequent
+// matches only.
+type TopKReducer struct {
+	Threshold int
+}
+
+// Reduce implements Reducer.
+func (t TopKReducer) Reduce(key string, values []string, emit func(key, value string)) {
+	sum := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			n = 1
+		}
+		sum += n
+	}
+	if sum >= t.Threshold {
+		emit(key, strconv.Itoa(sum))
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+// Canonical demand profiles for the paper's benchmark suite (Table 1).
+//
+// QoS bounds, client behavior and job shapes come straight from the
+// paper: websearch requires >95% of queries under 0.5s; webmail >95% of
+// requests under 0.8s; ytube extends SPECweb2005 QoS to model streaming
+// (modeled here as a 1s chunk deadline at the 95th percentile); the
+// mapreduce variants are batch jobs measured by execution time (5 GB of
+// input in 4 MB DFS chunks -> 1280 tasks).
+//
+// The demand constants (CPU seconds on the reference core, cache working
+// set and miss penalty, core-scaling exponent, disk and network bytes)
+// are CALIBRATED: cmd/whcalib fits them so the analytic model reproduces
+// the relative-performance matrix of Figure 2(c) (see DESIGN.md §2).
+// `go run ./cmd/whcalib -eval` re-checks the frozen fit, and regression
+// tests in the experiments package verify it stays within tolerance.
+// EXPERIMENTS.md documents the known deviations (chiefly emb2 on the
+// CPU-bound workloads, whose published performance exceeds what any
+// capacity model predicts from its 600 MHz in-order specs).
+
+// WebsearchProfile returns the calibrated websearch demand profile:
+// CPU-heavy unstructured-data processing over a partially cached index,
+// with moderate disk traffic for cold posting lists.
+func WebsearchProfile() Profile {
+	return Profile{
+		Name: "websearch", Class: Websearch,
+		CPURefSec:         0.04451,
+		DiskOps:           2.2,
+		DiskReadBytes:     798e3,
+		NetBytes:          100e3,
+		CacheWorkingSetMB: 15.58,
+		CacheMissPenalty:  0.522,
+		CoreScalingBeta:   0.55,
+		MemFootprintMB:    1600,
+		MemLocalityZipfS:  0.85,
+		QoSLatencySec:     0.5,
+		QoSPercentile:     0.95,
+		ThinkTimeSec:      1.0,
+	}
+}
+
+// WebmailProfile returns the calibrated webmail demand profile:
+// interactive web2.0 sessions with PHP-style CPU bursts, mailbox disk
+// traffic and heavy back-end network activity under a tight QoS.
+func WebmailProfile() Profile {
+	return Profile{
+		Name: "webmail", Class: Webmail,
+		CPURefSec:         0.05542,
+		DiskOps:           0.504,
+		DiskReadBytes:     400e3,
+		DiskWriteBytes:    100e3,
+		NetBytes:          500e3,
+		CacheWorkingSetMB: 16,
+		CacheMissPenalty:  0.2,
+		CoreScalingBeta:   0.811,
+		MemFootprintMB:    800,
+		MemLocalityZipfS:  0.75,
+		QoSLatencySec:     0.8,
+		QoSPercentile:     0.95,
+		ThinkTimeSec:      4.0,
+	}
+}
+
+// YtubeProfile returns the calibrated ytube demand profile: IO-dominated
+// rich-media streaming with seek-plus-transfer disk accesses per chunk
+// and minimal CPU.
+func YtubeProfile() Profile {
+	return Profile{
+		Name: "ytube", Class: Ytube,
+		CPURefSec:         0.002226,
+		DiskOps:           2.426,
+		DiskReadBytes:     200e3,
+		NetBytes:          200e3,
+		CacheWorkingSetMB: 0.333,
+		CacheMissPenalty:  1.375,
+		CoreScalingBeta:   0.55,
+		MemFootprintMB:    1100,
+		MemLocalityZipfS:  0.9,
+		QoSLatencySec:     1.0,
+		QoSPercentile:     0.95,
+		ThinkTimeSec:      2.0,
+	}
+}
+
+// MapReduceWCProfile returns the calibrated mapreduce word-count job:
+// 1280 tasks (5 GB in 4 MB chunks), each performing seek-heavy chunk
+// reads (4 concurrent tasks per CPU against one spindle) and word
+// counting — srvr-class machines are disk-bound, consumer machines
+// CPU-bound, reproducing Figure 2(c)'s crossover.
+func MapReduceWCProfile() Profile {
+	return Profile{
+		Name: "mapred-wc", Class: MapReduceWC,
+		CPURefSec:         0.1134,
+		DiskOps:           16,
+		DiskReadBytes:     2.0e6,
+		NetBytes:          50e3,
+		CacheWorkingSetMB: 16,
+		CacheMissPenalty:  0.6,
+		CoreScalingBeta:   0.55,
+		MemFootprintMB:    1400,
+		MemLocalityZipfS:  0.6,
+		ThinkTimeSec:      0,
+		Batch:             true,
+		JobRequests:       1280,
+	}
+}
+
+// MapReduceWRProfile returns the calibrated mapreduce distributed-write
+// job: 1280 tasks generating random words and writing 4 MB DFS chunks —
+// disk-write dominated, so platforms with the same disk converge.
+func MapReduceWRProfile() Profile {
+	return Profile{
+		Name: "mapred-wr", Class: MapReduceWR,
+		CPURefSec:         0.01809,
+		DiskOps:           0.5,
+		DiskWriteBytes:    8.0e6,
+		NetBytes:          798e3,
+		CacheWorkingSetMB: 0.32,
+		CacheMissPenalty:  2.518,
+		CoreScalingBeta:   0.695,
+		MemFootprintMB:    900,
+		MemLocalityZipfS:  0.5,
+		ThinkTimeSec:      0,
+		Batch:             true,
+		JobRequests:       1280,
+	}
+}
+
+// SuiteProfiles returns the five canonical profiles in the paper's
+// presentation order.
+func SuiteProfiles() []Profile {
+	return []Profile{
+		WebsearchProfile(), WebmailProfile(), YtubeProfile(),
+		MapReduceWCProfile(), MapReduceWRProfile(),
+	}
+}
+
+// ProfileByName looks a canonical profile up by its paper name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range SuiteProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,73 @@
+package workload
+
+import "testing"
+
+func TestSuiteProfilesCanonical(t *testing.T) {
+	ps := SuiteProfiles()
+	if len(ps) != 5 {
+		t.Fatalf("suite has %d profiles", len(ps))
+	}
+	wantOrder := []string{"websearch", "webmail", "ytube", "mapred-wc", "mapred-wr"}
+	for i, p := range ps {
+		if p.Name != wantOrder[i] {
+			t.Errorf("profile %d = %s, want %s", i, p.Name, wantOrder[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+		if p.Name != p.Class.String() {
+			t.Errorf("%s: name/class mismatch (%s)", p.Name, p.Class)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"websearch", "webmail", "ytube", "mapred-wc", "mapred-wr"} {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ProfileByName(%q) = %v, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile found")
+	}
+}
+
+func TestCanonicalQoSMatchesPaper(t *testing.T) {
+	ws, _ := ProfileByName("websearch")
+	if ws.QoSLatencySec != 0.5 || ws.QoSPercentile != 0.95 {
+		t.Errorf("websearch QoS %g@%g, paper says 0.5s@95%%", ws.QoSLatencySec, ws.QoSPercentile)
+	}
+	wm, _ := ProfileByName("webmail")
+	if wm.QoSLatencySec != 0.8 {
+		t.Errorf("webmail QoS %g, paper says 0.8s", wm.QoSLatencySec)
+	}
+	for _, name := range []string{"mapred-wc", "mapred-wr"} {
+		p, _ := ProfileByName(name)
+		if !p.Batch || p.JobRequests != 1280 {
+			t.Errorf("%s: batch=%v jobs=%d, paper: 5GB/4MB = 1280 tasks", name, p.Batch, p.JobRequests)
+		}
+	}
+}
+
+func TestBatchProfilesHaveNoQoS(t *testing.T) {
+	for _, p := range SuiteProfiles() {
+		if p.Batch && p.QoSLatencySec != 0 {
+			t.Errorf("%s: batch job with a QoS bound", p.Name)
+		}
+		if !p.Batch && p.QoSLatencySec == 0 {
+			t.Errorf("%s: interactive benchmark without a QoS bound", p.Name)
+		}
+	}
+}
+
+func TestWriteJobIsWriteDominated(t *testing.T) {
+	wr, _ := ProfileByName("mapred-wr")
+	if wr.DiskWriteBytes <= wr.DiskReadBytes {
+		t.Error("mapred-wr not write-dominated")
+	}
+	wc, _ := ProfileByName("mapred-wc")
+	if wc.DiskReadBytes <= wc.DiskWriteBytes {
+		t.Error("mapred-wc not read-dominated")
+	}
+}

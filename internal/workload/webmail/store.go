@@ -1,0 +1,199 @@
+// Package webmail implements the interactive-internet-services benchmark
+// of the suite (Table 1): a mailbox store and session state machine
+// standing in for the paper's SquirrelMail/Apache/PHP front end with
+// courier-imap and exim back ends.
+//
+// Message and attachment sizes follow right-skewed (log-normal)
+// distributions and client behavior follows the MS Exchange LoadSim
+// "heavy usage" style action mix the paper models: sessions log in,
+// list folders, read messages and attachments, reply, forward, compose,
+// delete and move messages, then log out.
+package webmail
+
+import (
+	"fmt"
+
+	"warehousesim/internal/stats"
+)
+
+// Folder identifies a mailbox folder.
+type Folder int
+
+// The standard folders of each account.
+const (
+	Inbox Folder = iota
+	Sent
+	Archive
+	Trash
+	numFolders
+)
+
+// String implements fmt.Stringer.
+func (f Folder) String() string {
+	return [...]string{"INBOX", "Sent", "Archive", "Trash"}[f]
+}
+
+// searchVocab is the keyword space messages draw from (and searches
+// probe); Zipf-popular like real mail text.
+const searchVocab = 5000
+
+// Message is one stored e-mail.
+type Message struct {
+	ID        int64
+	BodyBytes int
+	// AttachmentBytes is zero for messages without attachments.
+	AttachmentBytes int
+	Read            bool
+	// Keywords are the message's salient terms (used by the mailbox
+	// search action; index-less search scans bodies, this is what it
+	// finds).
+	Keywords []uint16
+}
+
+// HasKeyword reports whether the message contains the term.
+func (m Message) HasKeyword(k uint16) bool {
+	for _, kw := range m.Keywords {
+		if kw == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes returns the full message size.
+func (m Message) Bytes() int { return m.BodyBytes + m.AttachmentBytes }
+
+// Config sizes the synthetic mail store.
+type Config struct {
+	// Users is the number of provisioned accounts (the paper drives
+	// 1000 virtual users with 7 GB of stored mail).
+	Users int
+	// InitialMessages is the starting INBOX depth per user.
+	InitialMessages int
+	// MaxMessagesPerFolder caps folder growth during long simulations.
+	MaxMessagesPerFolder int
+	// AttachmentProb is the probability a message carries an attachment.
+	AttachmentProb float64
+	// Seed drives store generation.
+	Seed uint64
+}
+
+// DefaultConfig matches the paper's setup scaled for simulation speed.
+func DefaultConfig() Config {
+	return Config{
+		Users:                1000,
+		InitialMessages:      40,
+		MaxMessagesPerFolder: 200,
+		AttachmentProb:       0.25,
+		Seed:                 1,
+	}
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("webmail: no users")
+	case c.InitialMessages < 0 || c.MaxMessagesPerFolder <= 0:
+		return fmt.Errorf("webmail: bad mailbox sizing %+v", c)
+	case c.AttachmentProb < 0 || c.AttachmentProb > 1:
+		return fmt.Errorf("webmail: attachment probability %g outside [0,1]", c.AttachmentProb)
+	}
+	return nil
+}
+
+// Size distributions: bodies are small and skewed, attachments larger
+// (LoadSim heavy-profile flavor).
+var (
+	bodySize       = stats.Clamp{S: stats.LogNormalFromMeanP50(15e3, 6e3), Lo: 500, Hi: 1e6}
+	attachmentSize = stats.Clamp{S: stats.LogNormalFromMeanP50(220e3, 90e3), Lo: 5e3, Hi: 8e6}
+)
+
+// Mailbox holds one user's folders.
+type Mailbox struct {
+	Folders [numFolders][]Message
+}
+
+// Store is the mail spool across all users.
+type Store struct {
+	cfg    Config
+	boxes  []Mailbox
+	nextID int64
+	// TotalBytes tracks the spool size for footprint accounting.
+	TotalBytes int64
+	// keywords shapes per-message term popularity.
+	keywords *stats.Zipf
+}
+
+// NewStore provisions all accounts with initial mail.
+func NewStore(cfg Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kw, err := stats.NewZipf(searchVocab, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, boxes: make([]Mailbox, cfg.Users), keywords: kw}
+	r := stats.NewRNG(cfg.Seed)
+	for u := range s.boxes {
+		for i := 0; i < cfg.InitialMessages; i++ {
+			s.deliver(u, Inbox, s.newMessage(r))
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) newMessage(r *stats.RNG) Message {
+	m := Message{ID: s.nextID, BodyBytes: int(bodySize.Sample(r))}
+	s.nextID++
+	if r.Bool(s.cfg.AttachmentProb) {
+		m.AttachmentBytes = int(attachmentSize.Sample(r))
+	}
+	// 3-8 salient terms per message, Zipf-popular.
+	n := 3 + r.Intn(6)
+	m.Keywords = make([]uint16, n)
+	for i := range m.Keywords {
+		m.Keywords[i] = uint16(s.keywords.Rank(r))
+	}
+	return m
+}
+
+// deliver appends a message to a folder, evicting the oldest message if
+// the folder is at capacity (bounding spool growth in long runs).
+func (s *Store) deliver(user int, f Folder, m Message) {
+	box := &s.boxes[user]
+	if len(box.Folders[f]) >= s.cfg.MaxMessagesPerFolder {
+		s.TotalBytes -= int64(box.Folders[f][0].Bytes())
+		box.Folders[f] = box.Folders[f][1:]
+	}
+	box.Folders[f] = append(box.Folders[f], m)
+	s.TotalBytes += int64(m.Bytes())
+}
+
+// remove deletes the message at index i of the folder and returns it.
+func (s *Store) remove(user int, f Folder, i int) Message {
+	box := &s.boxes[user]
+	m := box.Folders[f][i]
+	box.Folders[f] = append(box.Folders[f][:i], box.Folders[f][i+1:]...)
+	s.TotalBytes -= int64(m.Bytes())
+	return m
+}
+
+// Users returns the number of accounts.
+func (s *Store) Users() int { return s.cfg.Users }
+
+// FolderLen returns the message count of a user's folder.
+func (s *Store) FolderLen(user int, f Folder) int {
+	return len(s.boxes[user].Folders[f])
+}
+
+// pick returns a uniformly random message index in the folder, or -1 if
+// the folder is empty.
+func (s *Store) pick(r *stats.RNG, user int, f Folder) int {
+	n := len(s.boxes[user].Folders[f])
+	if n == 0 {
+		return -1
+	}
+	return r.Intn(n)
+}
