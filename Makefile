@@ -1,0 +1,31 @@
+# Tier-1 gate for warehousesim (documented in ROADMAP.md).
+#
+#   make check   — everything CI runs: vet, build, race tests, gofmt
+#   make test    — plain tests (the seed tier-1 command)
+#   make bench   — benchmark harness with allocation reporting
+
+GO ?= go
+
+.PHONY: check vet build test test-race fmt bench
+
+check: vet build test-race fmt
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .

@@ -7,15 +7,17 @@
 //	whbench              # run everything
 //	whbench -exp fig2c   # run one experiment
 //	whbench -list        # list experiment ids
+//	whbench -obs -obs-out suite.jsonl   # record per-experiment streams
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
+	"time"
 
 	"warehousesim/experiments"
+	"warehousesim/internal/obs"
 )
 
 func main() {
@@ -23,7 +25,25 @@ func main() {
 	log.SetPrefix("whbench: ")
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	obsOn := flag.Bool("obs", false, "record registry-level observability streams")
+	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default bench.jsonl)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *obsOut != "" {
+		*obsOn = true
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *list {
 		titles := experiments.Titles()
@@ -33,21 +53,45 @@ func main() {
 		return
 	}
 
+	var sink *obs.Sink
+	var rec obs.Recorder
+	if *obsOn {
+		sink = obs.NewSink()
+		rec = sink
+	}
+	start := time.Now()
+
+	runID := "all"
 	if *exp != "" {
-		rep, err := experiments.Run(*exp)
+		runID = *exp
+		rep, err := experiments.RunWith(*exp, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(rep)
-		return
+	} else {
+		reps, err := experiments.RunAllWith(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rep := range reps {
+			fmt.Println(rep)
+		}
 	}
 
-	reps, err := experiments.RunAll()
-	if err != nil {
-		log.Fatal(err)
+	if sink != nil {
+		man := obs.NewManifest("suite", runID, 0)
+		man.Config["experiments"] = fmt.Sprintf("%d", sink.CounterValue("experiments.runs"))
+		man.WallSec = time.Since(start).Seconds()
+		sink.SetManifest(man)
+		out := *obsOut
+		if out == "" {
+			out = "bench.jsonl"
+		}
+		if err := sink.WriteFile(out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("obs: wrote %s (%d experiments) in %.2fs wall",
+			out, sink.CounterValue("experiments.runs"), man.WallSec)
 	}
-	for _, rep := range reps {
-		fmt.Println(rep)
-	}
-	os.Exit(0)
 }

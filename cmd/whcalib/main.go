@@ -12,9 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"warehousesim/internal/calib"
+	"warehousesim/internal/obs"
 )
 
 func main() {
@@ -25,7 +25,19 @@ func main() {
 	seed := flag.Uint64("seed", 20080621, "search seed")
 	only := flag.String("workload", "", "fit a single workload (default: all)")
 	evalOnly := flag.Bool("eval", false, "evaluate the frozen profiles instead of fitting")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	tasks := calib.SuiteTasks()
 	if *evalOnly {
@@ -69,5 +81,4 @@ func main() {
 		fmt.Printf("CoreScalingBeta:   %.4g,\n", p.CoreScalingBeta)
 		fmt.Println()
 	}
-	os.Exit(0)
 }

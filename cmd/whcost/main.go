@@ -17,6 +17,7 @@ import (
 	"warehousesim/internal/core"
 	"warehousesim/internal/cost"
 	"warehousesim/internal/metrics"
+	"warehousesim/internal/obs"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/power"
 )
@@ -31,7 +32,19 @@ func main() {
 	k2 := flag.Float64("k2", 0.667, "cooling capital factor K2")
 	af := flag.Float64("af", power.DefaultActivityFactor, "activity factor (0.5-1.0)")
 	years := flag.Float64("years", 3, "depreciation cycle")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	pm, err := power.NewModel(*af)
 	if err != nil {

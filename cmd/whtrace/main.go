@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"warehousesim/internal/memblade"
+	"warehousesim/internal/obs"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/trace"
 	"warehousesim/internal/workload"
@@ -78,7 +79,19 @@ func main() {
 	replay := flag.Bool("replay", false, "replay through the two-level memory simulator")
 	local := flag.Float64("local", 0.25, "local-memory fraction for -replay")
 	policy := flag.String("policy", "random", "replacement policy for -replay")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	var tr *trace.PageTrace
 	var footprint int64

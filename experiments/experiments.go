@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"warehousesim/internal/obs"
 )
 
 // Report is the rendered outcome of one experiment.
@@ -74,10 +76,16 @@ func Titles() map[string]string {
 }
 
 // Run executes the experiment with the given id.
-func Run(id string) (Report, error) {
+func Run(id string) (Report, error) { return RunWith(id, nil) }
+
+// RunWith executes the experiment with the given id under registry-level
+// observability: rec (may be nil) receives an "experiment" event and
+// counters per run, so whbench -obs can attribute suite time and report
+// size to individual experiments.
+func RunWith(id string, rec obs.Recorder) (Report, error) {
 	for _, e := range registry {
 		if e.id == id {
-			return e.run()
+			return runEntry(e, rec)
 		}
 	}
 	known := IDs()
@@ -86,16 +94,39 @@ func Run(id string) (Report, error) {
 }
 
 // RunAll executes every registered experiment in order.
-func RunAll() ([]Report, error) {
+func RunAll() ([]Report, error) { return RunAllWith(nil) }
+
+// RunAllWith executes every registered experiment in order, recording
+// registry-level observability into rec (may be nil).
+func RunAllWith(rec obs.Recorder) ([]Report, error) {
 	out := make([]Report, 0, len(registry))
 	for _, e := range registry {
-		r, err := e.run()
+		r, err := runEntry(e, rec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", e.id, err)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// runEntry invokes one experiment and records its outcome. The event's
+// time axis is the registry order, which is stable across builds.
+func runEntry(e entry, rec obs.Recorder) (Report, error) {
+	r, err := e.run()
+	if obs.On(rec) {
+		rec.Count("experiments.runs", 1)
+		if err != nil {
+			rec.Count("experiments.errors", 1)
+			rec.Event("experiment", float64(e.order),
+				obs.FS("id", e.id), obs.FS("error", err.Error()))
+		} else {
+			rec.Observe("experiment.report_lines", float64(len(r.Lines)))
+			rec.Event("experiment", float64(e.order),
+				obs.FS("id", e.id), obs.F("report_lines", float64(len(r.Lines))))
+		}
+	}
+	return r, err
 }
 
 // pct renders a fraction as a percent string.

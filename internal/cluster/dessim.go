@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"warehousesim/internal/des"
+	"warehousesim/internal/obs"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/workload"
 )
@@ -22,6 +23,26 @@ type SimOptions struct {
 	// BatchConcurrency is the task parallelism for batch jobs (the paper
 	// runs Hadoop with 4 threads per CPU); 0 means 4 x cores.
 	BatchConcurrency int
+
+	// Obs, when non-nil and enabled, receives the observability streams
+	// of the run: per-request latency/QoS events, resource utilization
+	// and queue-length timelines, kernel event-rate probes, and demand
+	// histograms. Recording never changes the reported result: for
+	// interactive workloads the adaptive search runs uninstrumented and
+	// the chosen operating point is replayed once (same seed, identical
+	// trajectory) with the recorder attached.
+	Obs obs.Recorder
+	// ProbeIntervalSec is the sampling interval of the timeline probes
+	// in simulated seconds; 0 means 1 s.
+	ProbeIntervalSec float64
+}
+
+// probeInterval resolves the sampling interval default.
+func (o SimOptions) probeInterval() des.Time {
+	if o.ProbeIntervalSec > 0 {
+		return des.Time(o.ProbeIntervalSec)
+	}
+	return 1
 }
 
 // DefaultSimOptions returns sensible defaults for validation runs.
@@ -35,6 +56,9 @@ func (o SimOptions) validate() error {
 	}
 	if o.MaxClients <= 0 {
 		return fmt.Errorf("cluster: MaxClients must be positive, got %d", o.MaxClients)
+	}
+	if o.ProbeIntervalSec < 0 {
+		return fmt.Errorf("cluster: negative probe interval %g", o.ProbeIntervalSec)
 	}
 	return nil
 }
@@ -79,34 +103,79 @@ type trialOutcome struct {
 }
 
 // runTrial simulates nClients closed-loop clients and measures sustained
-// throughput and latency percentiles over the measurement window.
-func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients int, opt SimOptions, seed uint64) trialOutcome {
+// throughput and latency percentiles over the measurement window. With a
+// live recorder it also emits the per-request event stream and attaches
+// the kernel/resource timeline probes; recording only observes, so the
+// outcome is identical to an uninstrumented trial at the same seed.
+func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients int, opt SimOptions, seed uint64, rec obs.Recorder) trialOutcome {
 	sim := des.NewSim()
 	srv := c.newSimServer(sim)
 	rng := stats.NewRNG(seed)
 	hist := stats.NewLatencyHistogram()
 
+	recording := obs.On(rec)
+	if recording {
+		gen = workload.Instrument(gen, rec)
+	}
+
 	measuring := false
 	completed := 0
 
 	think := stats.Exponential{Mean: p.ThinkTimeSec}
+
+	// Two client-loop bodies: the uninstrumented one is the untouched hot
+	// path (its closures capture nothing observability-related, so per-trial
+	// allocation is identical to a build without obs); the recording one
+	// additionally emits the per-request event stream.
 	var clientLoop func(r *stats.RNG)
-	clientLoop = func(r *stats.RNG) {
-		issue := func() {
-			req := gen.Sample(r)
-			d := c.DemandsFor(p, req)
-			srv.serve(d, func(latency float64) {
-				if measuring {
-					hist.Add(latency)
-					completed++
-				}
-				clientLoop(r)
-			})
+	if !recording {
+		clientLoop = func(r *stats.RNG) {
+			issue := func() {
+				req := gen.Sample(r)
+				d := c.DemandsFor(p, req)
+				srv.serve(d, func(latency float64) {
+					if measuring {
+						hist.Add(latency)
+						completed++
+					}
+					clientLoop(r)
+				})
+			}
+			if p.ThinkTimeSec > 0 {
+				sim.Schedule(des.Time(think.Sample(r)), issue)
+			} else {
+				issue()
+			}
 		}
-		if p.ThinkTimeSec > 0 {
-			sim.Schedule(des.Time(think.Sample(r)), issue)
-		} else {
-			issue()
+	} else {
+		qosBound := p.QoSLatencySec
+		clientLoop = func(r *stats.RNG) {
+			issue := func() {
+				req := gen.Sample(r)
+				d := c.DemandsFor(p, req)
+				srv.serve(d, func(latency float64) {
+					if measuring {
+						hist.Add(latency)
+						completed++
+					}
+					violation := qosBound > 0 && latency > qosBound
+					rec.Count("requests", 1)
+					if violation {
+						rec.Count("qos_violations", 1)
+					}
+					rec.Observe("latency_sec", latency)
+					rec.Event("request", float64(sim.Now()),
+						obs.F("latency_sec", latency),
+						obs.FB("qos_violation", violation),
+						obs.FB("measured", measuring))
+					clientLoop(r)
+				})
+			}
+			if p.ThinkTimeSec > 0 {
+				sim.Schedule(des.Time(think.Sample(r)), issue)
+			} else {
+				issue()
+			}
 		}
 	}
 	for i := 0; i < nClients; i++ {
@@ -116,12 +185,24 @@ func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients in
 		sim.Schedule(des.Time(rng.Float64()*(p.ThinkTimeSec+0.01)), func() { clientLoop(r) })
 	}
 
+	var probes *des.Probes
+	if recording {
+		probes = des.NewProbes(sim, rec, opt.probeInterval())
+		probes.Watch(srv.cpu, srv.disk, srv.net)
+		probes.Start()
+	}
+
 	sim.Run(des.Time(opt.WarmupSec))
 	measuring = true
 	srv.cpu.ResetWindow()
 	srv.disk.ResetWindow()
 	srv.net.ResetWindow()
 	sim.Run(des.Time(opt.WarmupSec + opt.MeasureSec))
+	if recording {
+		probes.Stop()
+		rec.Count("des.events", int64(sim.Fired()))
+		rec.Count("trial.clients", int64(nClients))
+	}
 
 	out := trialOutcome{
 		throughput:  float64(completed) / opt.MeasureSec,
@@ -170,17 +251,28 @@ func (c Config) Simulate(gen workload.Generator, opt SimOptions) (Result, error)
 
 func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
 	seed := opt.Seed
-	trial := func(n int) trialOutcome {
+	trial := func(n int) (trialOutcome, uint64) {
 		seed++
-		return c.runTrial(gen, p, n, opt, seed)
+		return c.runTrial(gen, p, n, opt, seed, nil), seed
 	}
 
 	best := trialOutcome{}
 	bestN := 0
-	record := func(n int, t trialOutcome) {
+	bestSeed := uint64(0)
+	record := func(n int, t trialOutcome, s uint64) {
 		if t.qosMet && t.throughput > best.throughput {
 			best = t
 			bestN = n
+			bestSeed = s
+		}
+	}
+	// replay re-runs the chosen operating point with the recorder
+	// attached. Same seed, same trajectory: the instrumented replay's
+	// outcome matches the recorded best exactly, so -obs never changes
+	// the reported numbers.
+	replay := func(n int, s uint64) {
+		if obs.On(opt.Obs) {
+			c.runTrial(gen, p, n, opt, s, opt.Obs)
 		}
 	}
 
@@ -188,9 +280,9 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	n := 1
 	lastGood, firstBad := 0, 0
 	for n <= opt.MaxClients {
-		t := trial(n)
+		t, s := trial(n)
 		if t.qosMet {
-			record(n, t)
+			record(n, t, s)
 			lastGood = n
 			n *= 2
 		} else {
@@ -201,7 +293,8 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	if lastGood == 0 {
 		// QoS unreachable even with one client: report best effort at a
 		// moderate load, mirroring the analytic path.
-		t := trial(maxInt(1, opt.MaxClients/8))
+		t, s := trial(maxInt(1, opt.MaxClients/8))
+		replay(maxInt(1, opt.MaxClients/8), s)
 		return Result{
 			Throughput:  t.throughput,
 			Perf:        t.throughput,
@@ -221,15 +314,16 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	lo, hi := lastGood, firstBad
 	for hi-lo > maxInt(1, lo/50) {
 		mid := (lo + hi) / 2
-		t := trial(mid)
+		t, s := trial(mid)
 		if t.qosMet {
-			record(mid, t)
+			record(mid, t, s)
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
 
+	replay(bestN, bestSeed)
 	return Result{
 		Throughput:  best.throughput,
 		Perf:        best.throughput,
@@ -247,6 +341,14 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 	srv := c.newSimServer(sim)
 	rng := stats.NewRNG(opt.Seed)
 
+	// Batch runs execute exactly once, so they are instrumented inline
+	// (recording observes without perturbing the trajectory).
+	rec := opt.Obs
+	recording := obs.On(rec)
+	if recording {
+		gen = workload.Instrument(gen, rec)
+	}
+
 	concurrency := opt.BatchConcurrency
 	if concurrency <= 0 {
 		concurrency = 4 * c.Server.CPU.Cores() // Hadoop's 4 threads/CPU
@@ -257,6 +359,15 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 	var finish des.Time
 
 	var launch func()
+	finishTask := func() {
+		done++
+		if done == p.JobRequests {
+			finish = sim.Now()
+			sim.Stop()
+			return
+		}
+		launch()
+	}
 	launch = func() {
 		if remaining == 0 {
 			return
@@ -264,20 +375,37 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 		remaining--
 		req := gen.Sample(rng)
 		d := c.DemandsFor(p, req)
+		if !recording {
+			srv.serve(d, func(float64) { finishTask() })
+			return
+		}
+		start := sim.Now()
 		srv.serve(d, func(float64) {
-			done++
-			if done == p.JobRequests {
-				finish = sim.Now()
-				sim.Stop()
-				return
-			}
-			launch()
+			latency := float64(sim.Now() - start)
+			rec.Count("requests", 1)
+			rec.Observe("latency_sec", latency)
+			rec.Event("request", float64(sim.Now()),
+				obs.F("latency_sec", latency),
+				obs.FB("qos_violation", false),
+				obs.FB("measured", true))
+			finishTask()
 		})
+	}
+	var probes *des.Probes
+	if recording {
+		probes = des.NewProbes(sim, rec, opt.probeInterval())
+		probes.Watch(srv.cpu, srv.disk, srv.net)
+		probes.Start()
 	}
 	for i := 0; i < concurrency && i < p.JobRequests; i++ {
 		launch()
 	}
 	sim.Run(des.Time(math.MaxFloat64))
+	if recording {
+		probes.Stop()
+		rec.Count("des.events", int64(sim.Fired()))
+		rec.Count("trial.clients", int64(concurrency))
+	}
 	if done != p.JobRequests {
 		return Result{}, fmt.Errorf("cluster: batch job stalled at %d/%d tasks", done, p.JobRequests)
 	}

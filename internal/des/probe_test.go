@@ -1,0 +1,110 @@
+package des
+
+import (
+	"bytes"
+	"testing"
+
+	"warehousesim/internal/obs"
+)
+
+// busySim drives one single-server resource with a deterministic
+// back-to-back job stream for the given span.
+func busySim(rec obs.Recorder, interval Time) *Sim {
+	sim := NewSim()
+	r := NewResource(sim, "cpu", 1)
+	var next Action
+	next = func() {
+		if sim.Now() < 10 {
+			r.Submit(0.5, next)
+		}
+	}
+	r.Submit(0.5, next)
+	p := NewProbes(sim, rec, interval)
+	p.Watch(r)
+	p.Start()
+	sim.Run(10)
+	return sim
+}
+
+func TestProbesEmitTimelines(t *testing.T) {
+	sink := obs.NewSink()
+	busySim(sink, 1)
+	for _, name := range []string{"des.heap_depth", "des.events_per_sec", "util.cpu", "qlen.cpu"} {
+		s := sink.SeriesByName(name)
+		if s == nil {
+			t.Fatalf("series %q missing (have %v)", name, sink.SeriesNames())
+		}
+		if len(s.Points) < 9 {
+			t.Fatalf("series %q has %d points, want >= 9 over a 10 s run at 1 s interval", name, len(s.Points))
+		}
+	}
+	// The resource is saturated: every full interval must report
+	// utilization 1 and a positive event rate.
+	util := sink.SeriesByName("util.cpu")
+	for _, p := range util.Points {
+		if p.V < 0.999 || p.V > 1.001 {
+			t.Fatalf("util.cpu at t=%g is %g, want 1 (resource is saturated)", p.T, p.V)
+		}
+	}
+	for _, p := range sink.SeriesByName("des.events_per_sec").Points {
+		if p.V <= 0 {
+			t.Fatalf("events/sec at t=%g is %g, want > 0", p.T, p.V)
+		}
+	}
+}
+
+func TestProbesDoNotPerturbModel(t *testing.T) {
+	plain := busySim(nil, 1)
+	probed := busySim(obs.NewSink(), 1)
+	// Probe ticks add events, but the model's own completions must be
+	// unchanged: 10s / 0.5s = 20 job completions either way. The probed
+	// run fires exactly its extra tick events (one per second plus the
+	// cancelled-at-horizon remainder).
+	if plain.Fired() != 20 {
+		t.Fatalf("uninstrumented run fired %d events, want 20", plain.Fired())
+	}
+	if probed.Fired() != 30 {
+		t.Fatalf("instrumented run fired %d events, want 30 (20 jobs + 10 ticks)", probed.Fired())
+	}
+}
+
+func TestProbesDeterministic(t *testing.T) {
+	export := func() []byte {
+		sink := obs.NewSink()
+		busySim(sink, 0.25)
+		var buf bytes.Buffer
+		if err := sink.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(export(), export()) {
+		t.Fatal("two identical probed runs exported different bytes")
+	}
+}
+
+func TestProbesStop(t *testing.T) {
+	sink := obs.NewSink()
+	sim := NewSim()
+	p := NewProbes(sim, sink, 1)
+	p.Start()
+	sim.Run(3)
+	p.Stop()
+	n := len(sink.SeriesByName("des.heap_depth").Points)
+	sim.ScheduleAt(10, func() {})
+	sim.Run(10)
+	if got := len(sink.SeriesByName("des.heap_depth").Points); got != n {
+		t.Fatalf("sampler kept ticking after Stop: %d -> %d points", n, got)
+	}
+}
+
+func TestProbesNilRecorderIsInert(t *testing.T) {
+	sim := NewSim()
+	p := NewProbes(sim, nil, 1)
+	p.Start()
+	sim.ScheduleAt(5, func() {})
+	sim.Run(5)
+	if sim.Fired() != 1 {
+		t.Fatalf("nil-recorder probes scheduled ticks: fired=%d, want 1", sim.Fired())
+	}
+}

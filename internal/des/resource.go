@@ -130,6 +130,15 @@ func (r *Resource) MeanQueueLen() float64 {
 	return r.queueIntegral / dt
 }
 
+// Integrals returns the time-weighted busy-server and queue-length
+// integrals (∫ busy dt, ∫ len(queue) dt) accumulated since the last
+// ResetWindow, stamped to the current simulation time. Probes difference
+// successive snapshots to build per-interval utilization timelines.
+func (r *Resource) Integrals() (busy, queue float64) {
+	r.stamp()
+	return r.busyIntegral, r.queueIntegral
+}
+
 // ResetWindow restarts utilization accounting at the current simulation
 // time — used to discard warm-up transients before measuring.
 func (r *Resource) ResetWindow() {

@@ -15,6 +15,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"warehousesim/internal/obs"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/trace"
@@ -74,6 +75,10 @@ type Sim struct {
 	table *list.List
 	index map[int64]*list.Element
 	stats Stats
+
+	// observability (nil when not instrumented)
+	rec         obs.Recorder
+	sampleEvery int64
 }
 
 // New builds an empty cache.
@@ -92,6 +97,25 @@ func New(cfg Config) (*Sim, error) {
 // Capacity returns the cache capacity in blocks.
 func (s *Sim) Capacity() int { return s.capacity }
 
+// Instrument attaches a recorder: per-op counters
+// ("flashcache.reads/read_hits/writes/write_hits/block_writes/evictions"),
+// a "flashcache.miss" event per read miss (the block fetched from the
+// backing disk), and a running read-hit-rate series
+// ("flashcache.read_hit_rate") sampled every sampleEvery operations
+// (0 means 1024) with the op count as the time axis. A nil or disabled
+// recorder detaches.
+func (s *Sim) Instrument(rec obs.Recorder, sampleEvery int64) {
+	if !obs.On(rec) {
+		s.rec = nil
+		return
+	}
+	s.rec = rec
+	if sampleEvery <= 0 {
+		sampleEvery = 1024
+	}
+	s.sampleEvery = sampleEvery
+}
+
 // Read looks a disk block up; a miss fetches it from the backing disk
 // and installs it (write-allocate). Returns true on a flash hit.
 func (s *Sim) Read(block int64) bool {
@@ -99,9 +123,15 @@ func (s *Sim) Read(block int64) bool {
 	if el, ok := s.index[block]; ok {
 		s.table.MoveToFront(el)
 		s.stats.ReadHits++
+		s.observe("flashcache.reads", "flashcache.read_hits", true)
 		return true
 	}
 	s.install(block)
+	s.observe("flashcache.reads", "flashcache.read_hits", false)
+	if s.rec != nil {
+		s.rec.Event("flashcache.miss", float64(s.stats.Reads+s.stats.Writes),
+			obs.F("block", float64(block)))
+	}
 	return false
 }
 
@@ -113,9 +143,29 @@ func (s *Sim) Write(block int64) {
 		s.table.MoveToFront(el)
 		s.stats.WriteHits++
 		s.stats.FlashBlockWrites++ // re-program the block
+		s.observe("flashcache.writes", "flashcache.write_hits", true)
+		if s.rec != nil {
+			s.rec.Count("flashcache.block_writes", 1)
+		}
 		return
 	}
 	s.install(block)
+	s.observe("flashcache.writes", "flashcache.write_hits", false)
+}
+
+func (s *Sim) observe(opCounter, hitCounter string, hit bool) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Count(opCounter, 1)
+	if hit {
+		s.rec.Count(hitCounter, 1)
+	}
+	ops := s.stats.Reads + s.stats.Writes
+	if ops%s.sampleEvery == 0 && s.stats.Reads > 0 {
+		s.rec.Gauge("flashcache.read_hit_rate", float64(ops),
+			float64(s.stats.ReadHits)/float64(s.stats.Reads))
+	}
 }
 
 func (s *Sim) install(block int64) {
@@ -125,9 +175,15 @@ func (s *Sim) install(block int64) {
 		s.table.Remove(el)
 		delete(s.index, victim)
 		s.stats.Evictions++
+		if s.rec != nil {
+			s.rec.Count("flashcache.evictions", 1)
+		}
 	}
 	s.index[block] = s.table.PushFront(block)
 	s.stats.FlashBlockWrites++
+	if s.rec != nil {
+		s.rec.Count("flashcache.block_writes", 1)
+	}
 }
 
 // Stats returns the accumulated counters.

@@ -26,6 +26,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"warehousesim/internal/obs"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/trace"
 )
@@ -123,6 +124,10 @@ type Sim struct {
 	dirty   map[int64]bool // dirty residents (all policies)
 	rng     *stats.RNG     // Random policy
 	stats   Stats
+
+	// observability (nil when not instrumented)
+	rec         obs.Recorder
+	sampleEvery int64
 }
 
 // New builds a simulator with cold (empty) local memory.
@@ -157,6 +162,25 @@ func New(cfg Config) (*Sim, error) {
 // Capacity returns the local-memory capacity in pages.
 func (s *Sim) Capacity() int { return s.capacity }
 
+// Instrument attaches a recorder: every access bumps the
+// "memblade.accesses" / "memblade.misses" / "memblade.writebacks"
+// counters, every miss emits a "memblade.swap" event (the page swapped
+// in over the blade interconnect), and the running hit rate is sampled
+// into the "memblade.hit_rate" series every sampleEvery accesses
+// (0 means 1024) with the access count as the time axis — which makes
+// cache warm-up directly visible. A nil or disabled recorder detaches.
+func (s *Sim) Instrument(rec obs.Recorder, sampleEvery int64) {
+	if !obs.On(rec) {
+		s.rec = nil
+		return
+	}
+	s.rec = rec
+	if sampleEvery <= 0 {
+		sampleEvery = 1024
+	}
+	s.sampleEvery = sampleEvery
+}
+
 // Access references a page; it returns true on a local hit. A miss
 // evicts a victim (by the configured policy) and installs the page —
 // the exclusive swap of §3.4.
@@ -181,6 +205,7 @@ func (s *Sim) Access(page int64, write bool) bool {
 		if write {
 			s.dirty[page] = true
 		}
+		s.observe(page, write, true)
 		return true
 	}
 
@@ -189,7 +214,25 @@ func (s *Sim) Access(page int64, write bool) bool {
 	if write {
 		s.dirty[page] = true
 	}
+	s.observe(page, write, false)
 	return false
+}
+
+func (s *Sim) observe(page int64, write, hit bool) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Count("memblade.accesses", 1)
+	if !hit {
+		s.rec.Count("memblade.misses", 1)
+		s.rec.Event("memblade.swap", float64(s.stats.Accesses),
+			obs.F("page", float64(page)), obs.FB("write", write))
+	}
+	if s.stats.Accesses%s.sampleEvery == 0 {
+		hits := s.stats.Accesses - s.stats.Misses
+		s.rec.Gauge("memblade.hit_rate", float64(s.stats.Accesses),
+			float64(hits)/float64(s.stats.Accesses))
+	}
 }
 
 func (s *Sim) install(page int64) {
@@ -243,6 +286,9 @@ func (s *Sim) evictAccounting(victim int64) {
 	if s.dirty[victim] {
 		s.stats.Writebacks++
 		delete(s.dirty, victim)
+		if s.rec != nil {
+			s.rec.Count("memblade.writebacks", 1)
+		}
 	}
 }
 

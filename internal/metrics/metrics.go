@@ -152,13 +152,14 @@ func (t *Table) distinct(key func(Measurement) string) []string {
 
 // Relative computes metric values normalized to the baseline system
 // (baseline == 1.0), per workload: the percentages of Figure 2(c).
-// The result maps workload -> system -> relative value. Workloads missing
-// a baseline measurement are skipped.
+// The result maps workload -> system -> relative value. Workloads whose
+// baseline measurement is missing, zero or NaN (e.g. a zero denominator
+// turned into NaN by safeDiv) are skipped rather than propagated.
 func (t *Table) Relative(k Metric, baseline string) map[string]map[string]float64 {
 	out := map[string]map[string]float64{}
 	for _, w := range t.Workloads() {
 		base, ok := t.Get(w, baseline)
-		if !ok || base.Value(k) == 0 {
+		if !ok || base.Value(k) == 0 || math.IsNaN(base.Value(k)) {
 			continue
 		}
 		row := map[string]float64{}
@@ -174,8 +175,10 @@ func (t *Table) Relative(k Metric, baseline string) map[string]map[string]float6
 
 // HMeanRelative returns, per system, the harmonic mean across workloads
 // of the relative metric values — the "HMean" rows of Figure 2(c) and
-// Figure 5. Systems missing any workload are omitted; a NaN is returned
-// for systems with non-positive entries.
+// Figure 5. Systems are omitted — explicitly, not as NaN rows — when any
+// workload is missing or any relative value is non-positive or NaN (a
+// zero-denominator measurement upstream), so an undefined mean can never
+// silently contaminate a suite table.
 func (t *Table) HMeanRelative(k Metric, baseline string) map[string]float64 {
 	rel := t.Relative(k, baseline)
 	workloads := t.Workloads()
@@ -196,8 +199,11 @@ func (t *Table) HMeanRelative(k Metric, baseline string) map[string]float64 {
 			}
 			vals = append(vals, v)
 		}
-		if complete {
-			out[s] = stats.HarmonicMean(vals)
+		if !complete {
+			continue
+		}
+		if hm, ok := stats.HarmonicMeanOK(vals); ok {
+			out[s] = hm
 		}
 	}
 	return out

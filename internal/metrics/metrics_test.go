@@ -118,6 +118,42 @@ func TestHMeanSkipsIncompleteSystems(t *testing.T) {
 	}
 }
 
+// TestHMeanOmitsNaNSystems is the regression test for the
+// zero-denominator leak: a measurement with PowerW == 0 makes
+// PerfPerWatt NaN via safeDiv, which used to flow through
+// HarmonicMean and surface as a NaN suite row. The system must be
+// omitted explicitly instead.
+func TestHMeanOmitsNaNSystems(t *testing.T) {
+	tbl := sample()
+	tbl.Add(Measurement{Workload: "w1", System: "broken", Perf: 1, InfUSD: 1, PCUSD: 1, TCOUSD: 1}) // PowerW 0
+	tbl.Add(Measurement{Workload: "w2", System: "broken", Perf: 1, InfUSD: 1, PCUSD: 1, TCOUSD: 1})
+	hm := tbl.HMeanRelative(PerfPerWatt, "base")
+	if v, ok := hm["broken"]; ok {
+		t.Errorf("zero-power system must be omitted, got hmean %g", v)
+	}
+	for s, v := range hm {
+		if math.IsNaN(v) {
+			t.Errorf("NaN leaked into hmean row for %q", s)
+		}
+	}
+	// Healthy systems keep their rows.
+	if _, ok := hm["alt"]; !ok {
+		t.Error("healthy system missing from hmean")
+	}
+}
+
+// TestRelativeSkipsNaNBaseline: a NaN baseline value must drop the
+// workload from the relative table rather than producing NaN ratios.
+func TestRelativeSkipsNaNBaseline(t *testing.T) {
+	tbl := &Table{}
+	tbl.Add(Measurement{Workload: "w1", System: "base", Perf: 1}) // PowerW 0 -> Perf/W NaN
+	tbl.Add(Measurement{Workload: "w1", System: "alt", Perf: 1, PowerW: 1})
+	rel := tbl.Relative(PerfPerWatt, "base")
+	if _, ok := rel["w1"]; ok {
+		t.Error("workload with NaN baseline must be skipped")
+	}
+}
+
 func TestSortedKeys(t *testing.T) {
 	m := map[string]int{"b": 1, "a": 2, "c": 3}
 	got := SortedKeys(m)

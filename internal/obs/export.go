@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The exporters write every record kind in a fixed order — manifest,
+// counters, histograms, series points, events — with names sorted and
+// points/events in emission order, so two runs with the same seed
+// produce byte-identical files.
+
+type jsonlCounter struct {
+	Type  string `json:"type"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonlHistBucket struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+type jsonlHist struct {
+	Type      string            `json:"type"`
+	Name      string            `json:"name"`
+	Count     int64             `json:"count"`
+	Underflow int64             `json:"underflow,omitempty"`
+	Mean      float64           `json:"mean"`
+	Min       float64           `json:"min"`
+	Max       float64           `json:"max"`
+	P50       float64           `json:"p50"`
+	P95       float64           `json:"p95"`
+	P99       float64           `json:"p99"`
+	Buckets   []jsonlHistBucket `json:"buckets,omitempty"`
+}
+
+type jsonlSample struct {
+	Type   string  `json:"type"`
+	Series string  `json:"series"`
+	T      float64 `json:"t"`
+	V      float64 `json:"v"`
+}
+
+type jsonlEvent struct {
+	Type   string         `json:"type"`
+	Stream string         `json:"stream"`
+	T      float64        `json:"t"`
+	Fields map[string]any `json:"f,omitempty"`
+}
+
+type jsonlManifest struct {
+	Type string `json:"type"`
+	Manifest
+}
+
+// WriteJSONL exports the sink as JSON Lines: one manifest line, then
+// one line per counter, histogram, series point and event record.
+func (s *Sink) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	if err := enc.Encode(jsonlManifest{Type: "manifest", Manifest: s.manifest}); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.counters) {
+		if err := enc.Encode(jsonlCounter{Type: "counter", Name: name, Value: s.counters[name]}); err != nil {
+			return err
+		}
+	}
+	if s.dropped > 0 {
+		if err := enc.Encode(jsonlCounter{Type: "counter", Name: "obs.dropped_events", Value: s.dropped}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.hists) {
+		h := s.hists[name]
+		rec := jsonlHist{
+			Type: "hist", Name: name,
+			Count: h.count, Underflow: h.underflow,
+			Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		}
+		for i, n := range h.buckets {
+			if n > 0 {
+				rec.Buckets = append(rec.Buckets, jsonlHistBucket{LE: histUpperBound(i), N: n})
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.series) {
+		for _, p := range s.series[name].Points {
+			if err := enc.Encode(jsonlSample{Type: "sample", Series: name, T: p.T, V: p.V}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range s.events {
+		rec := jsonlEvent{Type: "event", Stream: e.Stream, T: e.T}
+		if len(e.Fields) > 0 {
+			rec.Fields = make(map[string]any, len(e.Fields))
+			for _, f := range e.Fields {
+				if f.IsStr {
+					rec.Fields[f.Key] = f.Str
+				} else {
+					rec.Fields[f.Key] = f.Num
+				}
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV exports the sink as one flat CSV table with the columns
+// kind,name,t,value,fields. Counters and histogram summary statistics
+// leave t empty; events pack their fields as "k=v;..." in emission
+// order.
+func (s *Sink) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	write := func(rec ...string) {
+		// csv.Writer defers errors to Error(); checked once at the end.
+		_ = cw.Write(rec)
+	}
+	fnum := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	write("kind", "name", "t", "value", "fields")
+	m := s.manifest
+	manifest := []Field{
+		FS("schema", m.Schema), FS("workload", m.Workload), FS("system", m.System),
+		FS("seed", strconv.FormatUint(m.Seed, 10)), FS("go_version", m.GoVersion),
+		F("sim_time_sec", m.SimTimeSec), F("events", float64(m.Events)),
+		F("events_per_sim_sec", m.EventsPerSimSec),
+	}
+	for _, k := range sortedKeys(m.Config) {
+		manifest = append(manifest, FS("config."+k, m.Config[k]))
+	}
+	write("manifest", "run", "", "", packFields(manifest))
+
+	for _, name := range sortedKeys(s.counters) {
+		write("counter", name, "", strconv.FormatInt(s.counters[name], 10), "")
+	}
+	if s.dropped > 0 {
+		write("counter", "obs.dropped_events", "", strconv.FormatInt(s.dropped, 10), "")
+	}
+	for _, name := range sortedKeys(s.hists) {
+		h := s.hists[name]
+		write("hist", name, "", strconv.FormatInt(h.count, 10), packFields([]Field{
+			F("mean", h.Mean()), F("min", h.Min()), F("max", h.Max()),
+			F("p50", h.Quantile(0.50)), F("p95", h.Quantile(0.95)), F("p99", h.Quantile(0.99)),
+		}))
+	}
+	for _, name := range sortedKeys(s.series) {
+		for _, p := range s.series[name].Points {
+			write("sample", name, fnum(p.T), fnum(p.V), "")
+		}
+	}
+	for _, e := range s.events {
+		write("event", e.Stream, fnum(e.T), "", packFields(e.Fields))
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func packFields(fields []Field) string {
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		if f.IsStr {
+			parts[i] = f.Key + "=" + f.Str
+		} else {
+			parts[i] = f.Key + "=" + strconv.FormatFloat(f.Num, 'g', -1, 64)
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+// WriteFile exports the sink to path, choosing the format from the
+// extension: ".csv" writes CSV, anything else JSONL.
+func (s *Sink) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	var werr error
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		werr = s.WriteCSV(f)
+	} else {
+		werr = s.WriteJSONL(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, werr)
+	}
+	return nil
+}

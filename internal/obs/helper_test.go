@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func checkFile(t *testing.T, path string, want []byte) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s content differs from direct export", path)
+	}
+}

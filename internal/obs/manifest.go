@@ -1,0 +1,58 @@
+package obs
+
+import "runtime"
+
+// Manifest fully describes one instrumented run so it can be reproduced:
+// what was simulated (workload, system), how (seed, config), with what
+// toolchain (Go version), and how big the run was (simulated time,
+// events fired, event throughput in simulated time).
+//
+// Wall-clock duration is deliberately split out: WallSec and the derived
+// events-per-wall-second rate are machine-dependent, so the exporters
+// omit them to keep -obs-out artifacts byte-identical across runs with
+// the same seed. CLIs report wall time on stderr instead.
+type Manifest struct {
+	// Schema versions the export format.
+	Schema string `json:"schema"`
+	// Workload and System identify the evaluated pair.
+	Workload string `json:"workload"`
+	System   string `json:"system"`
+	// Seed is the top-level simulation seed.
+	Seed uint64 `json:"seed"`
+	// Config holds the remaining run parameters as sorted key/value
+	// pairs (encoding/json sorts map keys, keeping exports stable).
+	Config map[string]string `json:"config,omitempty"`
+	// GoVersion records the toolchain the run was built with.
+	GoVersion string `json:"go_version"`
+	// SimTimeSec is the total simulated time covered by the run.
+	SimTimeSec float64 `json:"sim_time_sec"`
+	// Events is the number of DES events fired (0 for trace replays).
+	Events int64 `json:"events,omitempty"`
+	// EventsPerSimSec is Events/SimTimeSec, the deterministic
+	// event-throughput figure.
+	EventsPerSimSec float64 `json:"events_per_sim_sec,omitempty"`
+
+	// WallSec is the wall-clock duration of the run. Excluded from the
+	// deterministic exports (see type comment).
+	WallSec float64 `json:"-"`
+}
+
+// NewManifest returns a Manifest for the current schema and toolchain.
+func NewManifest(workload, system string, seed uint64) Manifest {
+	return Manifest{
+		Schema:    "warehousesim-obs/v1",
+		Workload:  workload,
+		System:    system,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		Config:    map[string]string{},
+	}
+}
+
+// SetEvents records the event count and derives EventsPerSimSec.
+func (m *Manifest) SetEvents(events int64) {
+	m.Events = events
+	if m.SimTimeSec > 0 {
+		m.EventsPerSimSec = float64(events) / m.SimTimeSec
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// EventRecord is one structured event of a stream.
+type EventRecord struct {
+	Stream string
+	T      float64
+	Fields []Field
+}
+
+// histBucketsPerDecade controls histogram resolution: buckets are
+// log-spaced at 5 per decade, covering ~1e-12 .. 1e+12 (values outside
+// clamp into the edge buckets, zeros and negatives into an underflow
+// bucket). The layout is fixed so exports are deterministic.
+const (
+	histBucketsPerDecade = 5
+	histMinExp           = -12
+	histMaxExp           = 12
+	histBuckets          = (histMaxExp - histMinExp) * histBucketsPerDecade
+)
+
+// Hist is a fixed-layout log-bucketed histogram with exact count, sum,
+// min and max. It retains no samples, so recording is O(1) and the
+// memory footprint is constant regardless of run length.
+type Hist struct {
+	Name      string
+	count     int64
+	sum       float64
+	min, max  float64
+	underflow int64 // v <= 0 (or NaN)
+	buckets   [histBuckets]int64
+}
+
+func histIndex(v float64) int {
+	e := math.Log10(v)
+	i := int(math.Floor((e - histMinExp) * histBucketsPerDecade))
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histUpperBound returns the inclusive upper bound of bucket i.
+func histUpperBound(i int) float64 {
+	return math.Pow(10, histMinExp+float64(i+1)/histBucketsPerDecade)
+}
+
+// Add records one observation.
+func (h *Hist) Add(v float64) {
+	if v <= 0 || math.IsNaN(v) {
+		h.underflow++
+		h.count++
+		return
+	}
+	if h.count == h.underflow { // first positive observation
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.buckets[histIndex(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations (including underflow).
+func (h *Hist) Count() int64 { return h.count }
+
+// Mean returns the mean of positive observations (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := h.count - h.underflow
+	if n == 0 {
+		return 0
+	}
+	return h.sum / float64(n)
+}
+
+// Min and Max bound the positive observations (0 when none).
+func (h *Hist) Min() float64 { return h.min }
+
+// Max returns the largest positive observation (0 when none).
+func (h *Hist) Max() float64 { return h.max }
+
+// Quantile returns an upper-bound estimate of the q-th quantile
+// (0<=q<=1) over positive observations using the bucket upper bounds.
+func (h *Hist) Quantile(q float64) float64 {
+	n := h.count - h.underflow
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			ub := histUpperBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Sink is the standard in-memory Recorder. It keeps everything it is
+// given — counters, time series, histograms and event streams — and
+// exports them deterministically (sorted names, insertion-ordered
+// points and events) via WriteJSONL / WriteCSV.
+//
+// Sink is not safe for concurrent use; the simulators are
+// single-threaded by design.
+type Sink struct {
+	manifest Manifest
+
+	counters map[string]int64
+	series   map[string]*Series
+	hists    map[string]*Hist
+	events   []EventRecord
+
+	// MaxEvents caps the total retained event records (0 = unlimited).
+	// Overflow is counted, never silent: see DroppedEvents.
+	MaxEvents int
+	dropped   int64
+}
+
+// NewSink returns an empty, enabled Sink.
+func NewSink() *Sink {
+	return &Sink{
+		counters: map[string]int64{},
+		series:   map[string]*Series{},
+		hists:    map[string]*Hist{},
+	}
+}
+
+// SetManifest attaches the run manifest exported as the first JSONL line.
+func (s *Sink) SetManifest(m Manifest) { s.manifest = m }
+
+// Manifest returns the attached manifest.
+func (s *Sink) Manifest() Manifest { return s.manifest }
+
+// Enabled implements Recorder.
+func (s *Sink) Enabled() bool { return true }
+
+// Count implements Recorder.
+func (s *Sink) Count(name string, delta int64) { s.counters[name] += delta }
+
+// CounterValue returns the current value of a counter (0 if absent).
+func (s *Sink) CounterValue(name string) int64 { return s.counters[name] }
+
+// Gauge implements Recorder.
+func (s *Sink) Gauge(name string, t, v float64) {
+	sr := s.series[name]
+	if sr == nil {
+		sr = &Series{Name: name}
+		s.series[name] = sr
+	}
+	sr.Points = append(sr.Points, Point{T: t, V: v})
+}
+
+// SeriesByName returns the named time series (nil if absent).
+func (s *Sink) SeriesByName(name string) *Series { return s.series[name] }
+
+// SeriesNames returns the recorded series names, sorted.
+func (s *Sink) SeriesNames() []string { return sortedKeys(s.series) }
+
+// Observe implements Recorder.
+func (s *Sink) Observe(name string, v float64) {
+	h := s.hists[name]
+	if h == nil {
+		h = &Hist{Name: name}
+		s.hists[name] = h
+	}
+	h.Add(v)
+}
+
+// HistByName returns the named histogram (nil if absent).
+func (s *Sink) HistByName(name string) *Hist { return s.hists[name] }
+
+// Event implements Recorder.
+func (s *Sink) Event(stream string, t float64, fields ...Field) {
+	if s.MaxEvents > 0 && len(s.events) >= s.MaxEvents {
+		s.dropped++
+		return
+	}
+	s.events = append(s.events, EventRecord{Stream: stream, T: t, Fields: fields})
+}
+
+// Events returns all retained event records in emission order.
+func (s *Sink) Events() []EventRecord { return s.events }
+
+// EventCount returns the number of retained records in a stream.
+func (s *Sink) EventCount(stream string) int {
+	n := 0
+	for _, e := range s.events {
+		if e.Stream == stream {
+			n++
+		}
+	}
+	return n
+}
+
+// DroppedEvents returns how many event records were discarded because
+// of MaxEvents.
+func (s *Sink) DroppedEvents() int64 { return s.dropped }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

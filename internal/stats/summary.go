@@ -95,14 +95,30 @@ func HarmonicMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	hm, ok := HarmonicMeanOK(xs)
+	if !ok {
+		return math.NaN()
+	}
+	return hm
+}
+
+// HarmonicMeanOK is the checked variant: it reports ok=false instead of
+// NaN for empty input or any non-positive/NaN/Inf entry, so callers
+// building suite tables can omit an undefined row explicitly rather
+// than silently propagating NaN into downstream aggregates (e.g. a
+// measurement whose denominator was zero).
+func HarmonicMeanOK(xs []float64) (hm float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
 	sum := 0.0
 	for _, x := range xs {
-		if x <= 0 {
-			return math.NaN()
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 1) {
+			return 0, false
 		}
 		sum += 1 / x
 	}
-	return float64(len(xs)) / sum
+	return float64(len(xs)) / sum, true
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using

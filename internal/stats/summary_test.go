@@ -86,6 +86,17 @@ func TestHarmonicMean(t *testing.T) {
 	if hm := HarmonicMean(nil); hm != 0 {
 		t.Errorf("hmean(nil) = %g", hm)
 	}
+	if _, ok := HarmonicMeanOK([]float64{2, 6}); !ok {
+		t.Error("HarmonicMeanOK rejected valid input")
+	}
+	if _, ok := HarmonicMeanOK(nil); ok {
+		t.Error("HarmonicMeanOK accepted empty input")
+	}
+	for _, bad := range [][]float64{{1, 0}, {1, -2}, {1, math.NaN()}, {1, math.Inf(1)}} {
+		if hm, ok := HarmonicMeanOK(bad); ok {
+			t.Errorf("HarmonicMeanOK(%v) = %g, want rejection", bad, hm)
+		}
+	}
 	if hm := HarmonicMean([]float64{1, 0}); !math.IsNaN(hm) {
 		t.Errorf("hmean with zero = %g, want NaN", hm)
 	}

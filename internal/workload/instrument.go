@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"warehousesim/internal/obs"
+	"warehousesim/internal/stats"
+)
+
+// Instrument wraps gen so every sampled request's demand vector is
+// observed into rec's per-demand histograms ("demand.cpu_ref_sec",
+// "demand.disk_ops", "demand.disk_read_bytes", "demand.disk_write_bytes",
+// "demand.net_bytes"). With a nil or disabled recorder the generator is
+// returned unwrapped, so uninstrumented paths pay nothing.
+//
+// Recording reads the sample after the generator has drawn it and makes
+// no RNG draws of its own, so wrapping never changes the request stream.
+func Instrument(gen Generator, rec obs.Recorder) Generator {
+	if !obs.On(rec) {
+		return gen
+	}
+	return instrumented{gen: gen, rec: rec}
+}
+
+type instrumented struct {
+	gen Generator
+	rec obs.Recorder
+}
+
+// Profile implements Generator.
+func (g instrumented) Profile() Profile { return g.gen.Profile() }
+
+// Sample implements Generator.
+func (g instrumented) Sample(r *stats.RNG) Request {
+	req := g.gen.Sample(r)
+	g.rec.Observe("demand.cpu_ref_sec", req.CPURefSec)
+	g.rec.Observe("demand.disk_ops", req.DiskOps)
+	g.rec.Observe("demand.disk_read_bytes", req.DiskReadBytes)
+	g.rec.Observe("demand.disk_write_bytes", req.DiskWriteBytes)
+	g.rec.Observe("demand.net_bytes", req.NetBytes)
+	g.rec.Count("demand.samples", 1)
+	return req
+}
