@@ -3,10 +3,12 @@
 #   make check   — everything CI runs: vet, build, race tests, gofmt
 #   make test    — plain tests (the seed tier-1 command)
 #   make bench   — benchmark harness with allocation reporting
+#   make bench-json — machine-readable micro-bench record (BENCH_$(N).json)
 
 GO ?= go
+N ?= 2
 
-.PHONY: check vet build test test-race fmt bench
+.PHONY: check vet build test test-race fmt bench bench-json
 
 check: vet build test-race fmt
 
@@ -29,3 +31,6 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
+
+bench-json:
+	$(GO) run ./cmd/whbench -bench-json BENCH_$(N).json

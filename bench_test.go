@@ -202,3 +202,5 @@ func BenchmarkExtFabric(b *testing.B)       { benchExperiment(b, "ext-fabric") }
 func BenchmarkExtAvailability(b *testing.B) { benchExperiment(b, "ext-availability") }
 
 func BenchmarkExtDatacenter(b *testing.B) { benchExperiment(b, "ext-datacenter") }
+
+func BenchmarkExtCritpath(b *testing.B) { benchExperiment(b, "ext-critpath") }

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"warehousesim/internal/cluster"
+	"warehousesim/internal/flashcache"
+	"warehousesim/internal/memblade"
+	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/workload"
+)
+
+// benchRecord is one benchmark result in the warehousesim-bench/v1
+// export: the testing.B figures that regression tooling diffs across
+// commits. ns/op moves with the machine; B/op and allocs/op are
+// deterministic for a fixed seed and are the tracked numbers.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchDoc is the machine-readable benchmark record written by
+// -bench-json. GitRev ties the record to a commit ("unknown" outside a
+// git checkout); Seed is the simulation seed every bench ran with.
+type benchDoc struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GitRev     string        `json:"git_rev"`
+	Seed       uint64        `json:"seed"`
+	WallSec    float64       `json:"wall_sec"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// gitRev returns the short HEAD revision, or "unknown" when git or the
+// repository is unavailable (e.g. a release tarball).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// desTrial benchmarks one adaptive DES trial; mode selects how much
+// observability is attached, so the record documents the cost ladder
+// plain -> obs -> obs+spans (the plain row must not move when tracing
+// code evolves — tracing off is allocation-free by design).
+func desTrial(mode string, seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := cluster.Config{Server: platform.Desk()}
+		gen := workload.FixedGenerator{P: workload.WebsearchProfile()}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := cluster.SimOptions{Seed: seed, WarmupSec: 5, MeasureSec: 20, MaxClients: 64}
+			switch mode {
+			case "obs":
+				opts.Obs = obs.NewSink()
+			case "traced":
+				opts.Obs = obs.NewSink()
+				opts.TraceEvery = 1
+			}
+			if _, err := cfg.Simulate(gen, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func membladeAccess(seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		sim, err := memblade.New(memblade.Config{
+			FootprintPages: 1 << 20, LocalFraction: 0.25, Policy: memblade.LRU, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := stats.NewRNG(seed + 1)
+		z, err := stats.NewZipf(1<<20, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Access(int64(z.Rank(r)), i%5 == 0)
+		}
+	}
+}
+
+func membladeAccessTraced(seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		sim, err := memblade.New(memblade.Config{
+			FootprintPages: 1 << 20, LocalFraction: 0.25, Policy: memblade.LRU, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := obs.NewSink()
+		sim.Instrument(sink, 1024)
+		sim.InstrumentSpans(span.NewTracer(sink, 64))
+		r := stats.NewRNG(seed + 1)
+		z, err := stats.NewZipf(1<<20, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Access(int64(z.Rank(r)), i%5 == 0)
+		}
+	}
+}
+
+func flashCacheOp(seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		sim, err := flashcache.New(flashcache.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := stats.NewRNG(seed + 2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			block := r.Int63n(1 << 22)
+			if i%10 == 0 {
+				sim.Write(block)
+			} else {
+				sim.Read(block)
+			}
+		}
+	}
+}
+
+func analyticSolve(b *testing.B) {
+	cfg := cluster.Config{Server: platform.Emb1()}
+	p := workload.WebsearchProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Analyze(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func zipfRank(seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		z, err := stats.NewZipf(1<<20, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := stats.NewRNG(seed + 3)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			z.Rank(r)
+		}
+	}
+}
+
+// writeBenchJSON runs the substrate micro-benchmark suite via
+// testing.Benchmark and writes a warehousesim-bench/v1 record to path.
+// The suite is the whsim hot path at three instrumentation levels plus
+// the standalone simulators, so one record answers both "did the
+// substrate regress" and "what does tracing cost".
+func writeBenchJSON(path string, seed uint64) error {
+	suite := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"AnalyticSolve", analyticSolve},
+		{"DESTrial", desTrial("plain", seed)},
+		{"DESTrialObs", desTrial("obs", seed)},
+		{"DESTrialTraced", desTrial("traced", seed)},
+		{"MembladeAccess", membladeAccess(seed)},
+		{"MembladeAccessTraced", membladeAccessTraced(seed)},
+		{"FlashCacheOp", flashCacheOp(seed)},
+		{"ZipfRank", zipfRank(seed)},
+	}
+
+	doc := benchDoc{
+		Schema:    "warehousesim-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GitRev:    gitRev(),
+		Seed:      seed,
+	}
+	start := time.Now()
+	for _, s := range suite {
+		r := testing.Benchmark(s.fn)
+		doc.Benchmarks = append(doc.Benchmarks, benchRecord{
+			Name:        s.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "whbench: %-22s %10d iters  %12.0f ns/op  %10d B/op  %8d allocs/op\n",
+			s.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	doc.WallSec = time.Since(start).Seconds()
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "whbench: wrote %s (%d benchmarks) in %.1fs wall\n",
+		path, len(doc.Benchmarks), doc.WallSec)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	whbench -exp fig2c   # run one experiment
 //	whbench -list        # list experiment ids
 //	whbench -obs -obs-out suite.jsonl   # record per-experiment streams
+//	whbench -bench-json BENCH.json      # machine-readable micro-bench record
 package main
 
 import (
@@ -27,12 +28,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	obsOn := flag.Bool("obs", false, "record registry-level observability streams")
 	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default bench.jsonl)")
+	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write a warehousesim-bench/v1 JSON record here, then exit")
+	seed := flag.Uint64("seed", 1, "simulation seed for -bench-json")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	if *obsOut != "" {
 		*obsOn = true
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)

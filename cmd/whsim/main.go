@@ -8,6 +8,8 @@
 //	whsim -system N2 -workload ytube
 //	whsim -system desk -workload webmail -des   # discrete-event run
 //	whsim -system emb1 -workload websearch -des -obs -obs-out run.jsonl
+//	whsim -system emb1 -workload websearch -des -trace-out run.trace.json -attr-out attr.csv
+//	whsim -system emb1 -workload websearch -des -obs -http :6060
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"warehousesim/internal/core"
 	"warehousesim/internal/metrics"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/introspect"
+	"warehousesim/internal/obs/span"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/workload"
 )
@@ -54,6 +58,10 @@ func main() {
 	obsOn := flag.Bool("obs", false, "record observability streams of the DES run (requires -des)")
 	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default run.jsonl)")
 	probeInterval := flag.Float64("probe-interval", 1, "obs timeline sampling interval, simulated seconds")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of the run's causal spans here (implies -obs)")
+	attrOut := flag.String("attr-out", "", "write the critical-path latency-attribution table as CSV here (implies -obs)")
+	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth request by arrival index (deterministic; 1 = all)")
+	httpAddr := flag.String("http", "", "serve live introspection (/obs snapshot, /debug/pprof) on this address, e.g. :6060")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -62,13 +70,21 @@ func main() {
 	if *measure <= 0 {
 		log.Fatalf("-measure must be positive, got %g", *measure)
 	}
-	if *obsOut != "" {
+	tracing := *traceOut != "" || *attrOut != ""
+	if *obsOut != "" || tracing {
+		*obsOn = true
+	}
+	// Live /obs snapshots are published from the instrumented replay, so a
+	// DES run with -http needs a sink even when no export was requested —
+	// but only an explicit ask should write an obs file.
+	exportObs := *obsOn
+	if *httpAddr != "" && *useDES {
 		*obsOn = true
 	}
 	if !*useDES {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "seed", "measure", "probe-interval":
+			case "seed", "measure", "probe-interval", "trace-every":
 				log.Printf("warning: -%s has no effect without -des", f.Name)
 			}
 		})
@@ -78,6 +94,26 @@ func main() {
 	}
 	if *probeInterval <= 0 {
 		log.Fatalf("-probe-interval must be positive, got %g", *probeInterval)
+	}
+	if *traceEvery < 1 {
+		log.Fatalf("-trace-every must be >= 1, got %d", *traceEvery)
+	}
+	if !tracing {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trace-every" {
+				log.Print("warning: -trace-every has no effect without -trace-out or -attr-out")
+			}
+		})
+	}
+
+	var intro *introspect.Server
+	if *httpAddr != "" {
+		intro = introspect.New()
+		bound, _, err := intro.Serve(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection: serving http://%s (/obs, /debug/pprof) for the process lifetime", bound)
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
@@ -129,6 +165,27 @@ func main() {
 		if *obsOn {
 			sink = obs.NewSink()
 			opts.Obs = sink
+			if tracing {
+				opts.TraceEvery = *traceEvery
+			}
+		}
+		if intro != nil && sink != nil {
+			horizon := opts.WarmupSec + opts.MeasureSec
+			if p.Batch {
+				horizon = 0 // open-ended: the job defines its own end
+			}
+			pub := func(phase string, simNow float64) {
+				if b, err := sink.Snapshot(obs.Progress{
+					Phase: phase, SimTimeSec: simNow, HorizonSec: horizon,
+				}); err == nil {
+					intro.Publish(b)
+				}
+			}
+			// The adaptive search runs uninstrumented (see cluster docs),
+			// so live progress covers the instrumented replay.
+			pub("search", 0)
+			opts.OnProbeTick = func(simNow float64) { pub("replay", simNow) }
+			defer pub("done", horizon)
 		}
 
 		start := time.Now()
@@ -158,6 +215,9 @@ func main() {
 			man.Config["probe_interval_sec"] = strconv.FormatFloat(*probeInterval, 'g', -1, 64)
 			man.Config["max_clients"] = strconv.Itoa(opts.MaxClients)
 			man.Config["clients"] = strconv.Itoa(res.Clients)
+			if opts.TraceEvery > 0 {
+				man.Config["trace_every"] = strconv.FormatInt(opts.TraceEvery, 10)
+			}
 			if p.Batch {
 				man.SimTimeSec = res.ExecTime
 			} else {
@@ -167,18 +227,37 @@ func main() {
 			man.WallSec = wall.Seconds()
 			sink.SetManifest(man)
 
-			out := *obsOut
-			if out == "" {
-				out = "run.jsonl"
+			if exportObs {
+				out := *obsOut
+				if out == "" {
+					out = "run.jsonl"
+				}
+				if err := sink.WriteFile(out); err != nil {
+					log.Fatal(err)
+				}
+				// Wall time and wall-clock event throughput go to stderr:
+				// the export stays byte-identical across same-seed runs.
+				log.Printf("obs: wrote %s (%d series, %d events) in %.2fs wall (%.3g events/wall-sec)",
+					out, len(sink.SeriesNames()), len(sink.Events()), wall.Seconds(),
+					float64(man.Events)/wall.Seconds())
 			}
-			if err := sink.WriteFile(out); err != nil {
-				log.Fatal(err)
+
+			if opts.TraceEvery > 0 {
+				attr := span.Analyze(sink.Events())
+				fmt.Printf("\n%s", attr)
+				if *traceOut != "" {
+					if err := span.WriteTraceFile(*traceOut, sink); err != nil {
+						log.Fatal(err)
+					}
+					log.Printf("trace: wrote %s (load it at ui.perfetto.dev)", *traceOut)
+				}
+				if *attrOut != "" {
+					if err := attr.WriteCSVFile(*attrOut); err != nil {
+						log.Fatal(err)
+					}
+					log.Printf("trace: wrote attribution table %s", *attrOut)
+				}
 			}
-			// Wall time and wall-clock event throughput go to stderr:
-			// the export stays byte-identical across same-seed runs.
-			log.Printf("obs: wrote %s (%d series, %d events) in %.2fs wall (%.3g events/wall-sec)",
-				out, len(sink.SeriesNames()), len(sink.Events()), wall.Seconds(),
-				float64(man.Events)/wall.Seconds())
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //	whtrace -workload websearch -requests 5000 -out ws.trace
 //	whtrace -in ws.trace -stats
 //	whtrace -in ws.trace -replay -local 0.25 -policy lru
+//	whtrace -in ws.trace -replay -obs-out replay.jsonl -trace-out replay.trace.json
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"time"
 
 	"warehousesim/internal/memblade"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/trace"
 	"warehousesim/internal/workload"
@@ -79,9 +83,24 @@ func main() {
 	replay := flag.Bool("replay", false, "replay through the two-level memory simulator")
 	local := flag.Float64("local", 0.25, "local-memory fraction for -replay")
 	policy := flag.String("policy", "random", "replacement policy for -replay")
+	obsOn := flag.Bool("obs", false, "record the replay's memblade hit/miss streams (requires -replay)")
+	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default replay.jsonl)")
+	traceOut := flag.String("trace-out", "", "write a Perfetto trace of the replay's swap/CBF spans here (implies -obs)")
+	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth access by access index (1 = all)")
+	sampleEvery := flag.Int64("sample-every", 1024, "hit-rate series sampling stride, accesses")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *obsOut != "" || *traceOut != "" {
+		*obsOn = true
+	}
+	if *obsOn && !*replay {
+		log.Fatal("-obs records the replay; add -replay")
+	}
+	if *traceEvery < 1 {
+		log.Fatalf("-trace-every must be >= 1, got %d", *traceEvery)
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -156,12 +175,49 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var sink *obs.Sink
+		if *obsOn {
+			sink = obs.NewSink()
+			sim.Instrument(sink, *sampleEvery)
+			sim.InstrumentSpans(span.NewTracer(sink, *traceEvery))
+		}
+		start := time.Now()
 		st := memblade.Replay(sim, tr)
+		wall := time.Since(start)
 		fmt.Printf("replay: local %.3g (%d pages, %s): miss rate %.2f%%, %.2f misses/request, %d writebacks\n",
 			*local, sim.Capacity(), pol, st.MissRate()*100, st.MissesPerRequest(), st.Writebacks)
 		for _, ic := range []memblade.Interconnect{memblade.PCIeX4(), memblade.CBF()} {
 			fmt.Printf("  %s stall per request: %.1f us\n",
 				ic.Name, st.MissesPerRequest()*ic.StallPerMissSec*1e6)
+		}
+
+		if sink != nil {
+			// The replay's time axis is the access count, so the manifest
+			// reports accesses in SimTimeSec's role and hit/miss streams
+			// export exactly like the cluster path's request streams.
+			man := obs.NewManifest(*wl, "memblade", *seed)
+			man.Config["local_fraction"] = strconv.FormatFloat(*local, 'g', -1, 64)
+			man.Config["policy"] = pol.String()
+			man.Config["footprint_pages"] = strconv.FormatInt(footprint, 10)
+			man.Config["trace_every"] = strconv.FormatInt(*traceEvery, 10)
+			man.SimTimeSec = float64(st.Accesses)
+			man.WallSec = wall.Seconds()
+			sink.SetManifest(man)
+
+			out := *obsOut
+			if out == "" {
+				out = "replay.jsonl"
+			}
+			if err := sink.WriteFile(out); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("obs: wrote %s (%d events) in %.2fs wall", out, len(sink.Events()), wall.Seconds())
+			if *traceOut != "" {
+				if err := span.WriteTraceFile(*traceOut, sink); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("trace: wrote %s (time axis = access index; load it at ui.perfetto.dev)", *traceOut)
+			}
 		}
 	}
 }

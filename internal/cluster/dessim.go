@@ -6,6 +6,7 @@ import (
 
 	"warehousesim/internal/des"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/workload"
 )
@@ -35,6 +36,17 @@ type SimOptions struct {
 	// ProbeIntervalSec is the sampling interval of the timeline probes
 	// in simulated seconds; 0 means 1 s.
 	ProbeIntervalSec float64
+
+	// TraceEvery turns on causal span tracing in the instrumented run:
+	// every Nth request by arrival index (1 = all, deterministic, no
+	// RNG draws) records its span tree — request root, per-resource
+	// queue wait and service, and the remote-memory share of cpu
+	// service — on the "span" event stream of Obs. 0 disables tracing.
+	TraceEvery int64
+	// OnProbeTick, when non-nil, fires after every timeline-probe tick
+	// of an instrumented run with the current simulated time — the
+	// live-introspection publish hook. It must only read.
+	OnProbeTick func(simNow float64)
 }
 
 // probeInterval resolves the sampling interval default.
@@ -59,6 +71,9 @@ func (o SimOptions) validate() error {
 	}
 	if o.ProbeIntervalSec < 0 {
 		return fmt.Errorf("cluster: negative probe interval %g", o.ProbeIntervalSec)
+	}
+	if o.TraceEvery < 0 {
+		return fmt.Errorf("cluster: negative trace sampling stride %d", o.TraceEvery)
 	}
 	return nil
 }
@@ -93,6 +108,52 @@ func (s *simServer) serve(d Demands, done func(latency float64)) {
 	})
 }
 
+// serveTraced mirrors serve exactly — same Submit calls, same delays,
+// same event ordering, so a traced request follows the trajectory an
+// untraced one would — and additionally records the request's causal
+// span tree: a root request span plus queue/service spans per resource.
+// Queue wait is recovered without touching the resource hot path: FIFO
+// service is non-preemptive, so service started at completion-minus-
+// service and everything between submit and that instant was queueing.
+// memFrac > 0 carves the remote-memory share out of cpu service as a
+// nested swap span (the §3.4 slowdown is folded into CPUSec; the span
+// makes it attributable again).
+func (s *simServer) serveTraced(d Demands, tr *span.Tracer, req int64, memFrac float64, done func(latency float64)) {
+	start := s.sim.Now()
+	root := tr.Begin(0, req, span.KindRequest, "request", float64(start))
+	stage := func(r *des.Resource, svc float64, frac float64, next func()) {
+		submit := float64(s.sim.Now())
+		r.Submit(des.Time(svc), func() {
+			end := float64(s.sim.Now())
+			began := end - svc
+			tr.Emit(root, req, span.KindQueue, r.Name(), submit, began)
+			sid := tr.Emit(root, req, span.KindService, r.Name(), began, end)
+			if frac > 0 {
+				tr.Emit(sid, req, span.KindSwap, "memblade", began, began+svc*frac)
+			}
+			next()
+		})
+	}
+	stage(s.cpu, d.CPUSec, memFrac, func() {
+		stage(s.disk, d.DiskSec, 0, func() {
+			stage(s.net, d.NetSec, 0, func() {
+				tr.End(root, float64(s.sim.Now()))
+				done(float64(s.sim.Now() - start))
+			})
+		})
+	})
+}
+
+// memSwapFraction is the share of cpu service time attributable to
+// remote-memory page swaps: CPUSec includes the (1 + MemSlowdown)
+// inflation, so the swap share is MemSlowdown/(1+MemSlowdown).
+func (c Config) memSwapFraction() float64 {
+	if c.MemSlowdown <= 0 {
+		return 0
+	}
+	return c.MemSlowdown / (1 + c.MemSlowdown)
+}
+
 // trialOutcome summarizes one closed-loop trial at a fixed client count.
 type trialOutcome struct {
 	throughput  float64
@@ -116,6 +177,13 @@ func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients in
 	recording := obs.On(rec)
 	if recording {
 		gen = workload.Instrument(gen, rec)
+	}
+	// tracer stays nil unless the run both records and asked for spans;
+	// every tracer method no-ops on nil, so the recording-but-untraced
+	// path pays one nil check per request.
+	var tracer *span.Tracer
+	if recording && opt.TraceEvery > 0 {
+		tracer = span.NewTracer(rec, opt.TraceEvery)
 	}
 
 	measuring := false
@@ -149,11 +217,13 @@ func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients in
 		}
 	} else {
 		qosBound := p.QoSLatencySec
+		memFrac := c.memSwapFraction()
+		var arrivals int64
 		clientLoop = func(r *stats.RNG) {
 			issue := func() {
 				req := gen.Sample(r)
 				d := c.DemandsFor(p, req)
-				srv.serve(d, func(latency float64) {
+				finish := func(latency float64) {
 					if measuring {
 						hist.Add(latency)
 						completed++
@@ -169,7 +239,13 @@ func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients in
 						obs.FB("qos_violation", violation),
 						obs.FB("measured", measuring))
 					clientLoop(r)
-				})
+				}
+				if tracer.Sampled(arrivals) {
+					srv.serveTraced(d, tracer, arrivals, memFrac, finish)
+				} else {
+					srv.serve(d, finish)
+				}
+				arrivals++
 			}
 			if p.ThinkTimeSec > 0 {
 				sim.Schedule(des.Time(think.Sample(r)), issue)
@@ -189,6 +265,7 @@ func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients in
 	if recording {
 		probes = des.NewProbes(sim, rec, opt.probeInterval())
 		probes.Watch(srv.cpu, srv.disk, srv.net)
+		probes.OnTick = opt.OnProbeTick
 		probes.Start()
 	}
 
@@ -200,6 +277,9 @@ func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients in
 	sim.Run(des.Time(opt.WarmupSec + opt.MeasureSec))
 	if recording {
 		probes.Stop()
+		// Requests still in flight at the horizon leave their root spans
+		// open; export them truncated rather than dropping them.
+		tracer.FlushOpen(float64(sim.Now()))
 		rec.Count("des.events", int64(sim.Fired()))
 		rec.Count("trial.clients", int64(nClients))
 	}
@@ -348,6 +428,11 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 	if recording {
 		gen = workload.Instrument(gen, rec)
 	}
+	var tracer *span.Tracer
+	if recording && opt.TraceEvery > 0 {
+		tracer = span.NewTracer(rec, opt.TraceEvery)
+	}
+	memFrac := c.memSwapFraction()
 
 	concurrency := opt.BatchConcurrency
 	if concurrency <= 0 {
@@ -368,6 +453,7 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 		}
 		launch()
 	}
+	var arrivals int64
 	launch = func() {
 		if remaining == 0 {
 			return
@@ -380,7 +466,7 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 			return
 		}
 		start := sim.Now()
-		srv.serve(d, func(float64) {
+		finish := func(float64) {
 			latency := float64(sim.Now() - start)
 			rec.Count("requests", 1)
 			rec.Observe("latency_sec", latency)
@@ -389,12 +475,19 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 				obs.FB("qos_violation", false),
 				obs.FB("measured", true))
 			finishTask()
-		})
+		}
+		if tracer.Sampled(arrivals) {
+			srv.serveTraced(d, tracer, arrivals, memFrac, finish)
+		} else {
+			srv.serve(d, finish)
+		}
+		arrivals++
 	}
 	var probes *des.Probes
 	if recording {
 		probes = des.NewProbes(sim, rec, opt.probeInterval())
 		probes.Watch(srv.cpu, srv.disk, srv.net)
+		probes.OnTick = opt.OnProbeTick
 		probes.Start()
 	}
 	for i := 0; i < concurrency && i < p.JobRequests; i++ {
@@ -403,6 +496,7 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 	sim.Run(des.Time(math.MaxFloat64))
 	if recording {
 		probes.Stop()
+		tracer.FlushOpen(float64(sim.Now()))
 		rec.Count("des.events", int64(sim.Fired()))
 		rec.Count("trial.clients", int64(concurrency))
 	}

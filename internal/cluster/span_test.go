@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/workload"
+)
+
+func tracedTestOptions(rec obs.Recorder, every int64) SimOptions {
+	o := obsTestOptions(rec)
+	o.TraceEvery = every
+	return o
+}
+
+// TestTracingDoesNotChangeResult extends the observe-don't-perturb rule
+// to span tracing: a traced request must follow the exact trajectory an
+// untraced one would.
+func TestTracingDoesNotChangeResult(t *testing.T) {
+	cfg := Config{Server: platform.Desk()}
+	gen := workload.FixedGenerator{P: workload.WebsearchProfile()}
+
+	plain, err := cfg.Simulate(gen, obsTestOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := cfg.Simulate(gen, tracedTestOptions(obs.NewSink(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != traced.Throughput || plain.Clients != traced.Clients ||
+		plain.P95Latency != traced.P95Latency || plain.MeanLatency != traced.MeanLatency {
+		t.Fatalf("tracing changed the result:\nplain  %+v\ntraced %+v", plain, traced)
+	}
+}
+
+// TestSpansReconcileWithLatencies is the acceptance criterion: every
+// completed root span matches a recorded request event — its duration
+// is bit-identical to that request's latency_sec — and the span tree
+// under it tiles the root, so attribution shares sum to 100%.
+func TestSpansReconcileWithLatencies(t *testing.T) {
+	cfg := Config{Server: platform.Desk()}
+	sink := obs.NewSink()
+	if _, err := cfg.Simulate(workload.FixedGenerator{P: workload.WebsearchProfile()},
+		tracedTestOptions(sink, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Latency multiset from the request event stream (exact float64 keys:
+	// both numbers come from the same des.Time arithmetic).
+	latencies := map[float64]int{}
+	for _, e := range sink.Events() {
+		if e.Stream != "request" {
+			continue
+		}
+		for _, f := range e.Fields {
+			if f.Key == "latency_sec" {
+				latencies[f.Num]++
+			}
+		}
+	}
+	if len(latencies) == 0 {
+		t.Fatal("no request events recorded")
+	}
+
+	spans := span.Decoded(sink.Events())
+	var roots, open int
+	childSum := map[int64]float64{} // root span id -> sum of tiling children
+	rootDur := map[int64]float64{}
+	rootID := map[int64]int64{} // req -> root id
+	for _, s := range spans {
+		if s.Kind == span.KindRequest {
+			if s.Open {
+				open++
+				continue
+			}
+			roots++
+			if latencies[s.Dur] == 0 {
+				t.Fatalf("root span of req %d has dur %g matching no recorded latency", s.Req, s.Dur)
+			}
+			latencies[s.Dur]--
+			rootDur[s.ID] = s.Dur
+			rootID[s.Req] = s.ID
+		}
+	}
+	if roots == 0 {
+		t.Fatal("no completed root spans")
+	}
+	// Queue and service children (direct children of roots) tile the root.
+	for _, s := range spans {
+		if s.Kind == span.KindQueue || s.Kind == span.KindService {
+			childSum[s.Parent] += s.Dur
+		}
+	}
+	for id, want := range rootDur {
+		if got := childSum[id]; math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("children of root %d sum to %g, root lasted %g", id, got, want)
+		}
+	}
+
+	attr := span.Analyze(sink.Events())
+	if attr.Requests != roots || attr.OpenRequests != open {
+		t.Fatalf("attribution saw %d/%d requests, spans have %d/%d", attr.Requests, attr.OpenRequests, roots, open)
+	}
+	var shares float64
+	for _, r := range attr.Rows {
+		shares += r.Share
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Fatalf("attribution shares sum to %g, want 1", shares)
+	}
+	if math.Abs(attr.TotalSec-attr.RootSec) > 1e-6*attr.RootSec {
+		t.Fatalf("attributed %g sec but roots lasted %g sec", attr.TotalSec, attr.RootSec)
+	}
+}
+
+// TestTraceEverySampling pins the deterministic sampling rule: only
+// arrival indices divisible by the stride are traced, and a coarser
+// stride is a subset of a finer one.
+func TestTraceEverySampling(t *testing.T) {
+	run := func(every int64) []span.Span {
+		cfg := Config{Server: platform.Desk()}
+		sink := obs.NewSink()
+		if _, err := cfg.Simulate(workload.FixedGenerator{P: workload.WebsearchProfile()},
+			tracedTestOptions(sink, every)); err != nil {
+			t.Fatal(err)
+		}
+		return span.Decoded(sink.Events())
+	}
+	all, sampled := run(1), run(5)
+	if len(all) == 0 || len(sampled) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if len(sampled) >= len(all) {
+		t.Fatalf("stride 5 recorded %d spans, stride 1 recorded %d", len(sampled), len(all))
+	}
+	reqs := map[int64]bool{}
+	for _, s := range sampled {
+		if s.Req%5 != 0 {
+			t.Fatalf("stride-5 trace contains req %d", s.Req)
+		}
+		reqs[s.Req] = true
+	}
+	if len(reqs) < 2 {
+		t.Fatal("stride-5 trace covers fewer than 2 requests")
+	}
+}
+
+// TestTracedExportDeterministic is the tracing half of the same-seed
+// byte-identical criterion, covering the span stream and both derived
+// artifacts.
+func TestTracedExportDeterministic(t *testing.T) {
+	run := func() (jsonl, trace, csv []byte) {
+		cfg := Config{Server: platform.Desk()}
+		sink := obs.NewSink()
+		if _, err := cfg.Simulate(workload.FixedGenerator{P: workload.WebsearchProfile()},
+			tracedTestOptions(sink, 2)); err != nil {
+			t.Fatal(err)
+		}
+		var a, b, c bytes.Buffer
+		if err := sink.WriteJSONL(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := span.WriteTrace(&b, sink); err != nil {
+			t.Fatal(err)
+		}
+		if err := span.Analyze(sink.Events()).WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return a.Bytes(), b.Bytes(), c.Bytes()
+	}
+	j1, t1, c1 := run()
+	j2, t2, c2 := run()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("span JSONL differs across same-seed runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("Perfetto trace differs across same-seed runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("attribution CSV differs across same-seed runs")
+	}
+}
+
+// TestBatchTracing covers the batch scheduler path: spans record, the
+// remote-memory share appears when the config has a memory slowdown,
+// and attribution still tiles.
+func TestBatchTracing(t *testing.T) {
+	cfg := Config{Server: platform.Desk(), MemSlowdown: 0.2}
+	p := workload.MapReduceWCProfile()
+	p.JobRequests = 200
+	sink := obs.NewSink()
+	opt := SimOptions{Seed: 3, WarmupSec: 1, MeasureSec: 1, MaxClients: 8, Obs: sink, TraceEvery: 1}
+	if _, err := cfg.Simulate(workload.FixedGenerator{P: p}, opt); err != nil {
+		t.Fatal(err)
+	}
+	spans := span.Decoded(sink.Events())
+	if len(spans) == 0 {
+		t.Fatal("batch run recorded no spans")
+	}
+	var swaps int
+	for _, s := range spans {
+		if s.Kind == span.KindSwap {
+			swaps++
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("MemSlowdown > 0 but no swap spans recorded")
+	}
+	attr := span.Analyze(sink.Events())
+	if attr.Requests == 0 {
+		t.Fatal("attribution analyzed no requests")
+	}
+	var rm float64
+	for _, r := range attr.Rows {
+		if r.Category == span.CatRemoteMem {
+			rm = r.Share
+		}
+	}
+	// MemSlowdown 0.2 puts 0.2/1.2 of cpu service time on remote memory.
+	if rm <= 0 {
+		t.Fatalf("remote-memory share = %g, want > 0", rm)
+	}
+}

@@ -28,6 +28,13 @@ type Probes struct {
 
 	lastFired uint64
 	watched   []watchedResource
+
+	// OnTick, when non-nil, runs at the end of every probe tick with
+	// the current simulated time. It is the live-introspection seam:
+	// the hook may read simulation state and publish snapshots, but it
+	// must never schedule events or sample randomness — the same
+	// observe-don't-perturb contract the recorder obeys.
+	OnTick func(now float64)
 }
 
 type watchedResource struct {
@@ -97,6 +104,10 @@ func (p *Probes) tick() {
 		w.lastBusy, w.lastQueue = busy, queue
 		p.rec.Gauge("util."+w.r.Name(), now, db/(dt*float64(w.r.Servers())))
 		p.rec.Gauge("qlen."+w.r.Name(), now, dq/dt)
+	}
+
+	if p.OnTick != nil {
+		p.OnTick(now)
 	}
 
 	p.handle = p.sim.Schedule(p.interval, p.tick)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/trace"
@@ -79,6 +80,11 @@ type Sim struct {
 	// observability (nil when not instrumented)
 	rec         obs.Recorder
 	sampleEvery int64
+
+	// span tracing (nil tracer = off)
+	tracer      *span.Tracer
+	flashReadUs float64
+	diskReadUs  float64
 }
 
 // New builds an empty cache.
@@ -116,6 +122,17 @@ func (s *Sim) Instrument(rec obs.Recorder, sampleEvery int64) {
 	s.sampleEvery = sampleEvery
 }
 
+// InstrumentSpans attaches a causal span tracer: every sampled read
+// (sampling by operation index, the tracer's stride) emits a "storage"
+// span — a flash access on a hit, a SAN round-trip to the backing disk
+// on a miss — with the given device latencies as duration, in
+// microseconds on the operation-count time axis. A nil tracer detaches.
+func (s *Sim) InstrumentSpans(tr *span.Tracer, flashReadSec, diskReadSec float64) {
+	s.tracer = tr
+	s.flashReadUs = flashReadSec * 1e6
+	s.diskReadUs = diskReadSec * 1e6
+}
+
 // Read looks a disk block up; a miss fetches it from the backing disk
 // and installs it (write-allocate). Returns true on a flash hit.
 func (s *Sim) Read(block int64) bool {
@@ -124,6 +141,7 @@ func (s *Sim) Read(block int64) bool {
 		s.table.MoveToFront(el)
 		s.stats.ReadHits++
 		s.observe("flashcache.reads", "flashcache.read_hits", true)
+		s.spanRead("flash", s.flashReadUs)
 		return true
 	}
 	s.install(block)
@@ -132,7 +150,17 @@ func (s *Sim) Read(block int64) bool {
 		s.rec.Event("flashcache.miss", float64(s.stats.Reads+s.stats.Writes),
 			obs.F("block", float64(block)))
 	}
+	s.spanRead("san", s.diskReadUs)
 	return false
+}
+
+// spanRead emits one storage span on the operation-count axis.
+func (s *Sim) spanRead(res string, durUs float64) {
+	ops := s.stats.Reads + s.stats.Writes
+	if idx := ops - 1; s.tracer.Sampled(idx) {
+		t := float64(ops)
+		s.tracer.Emit(0, idx, span.KindStorage, res, t, t+durUs)
+	}
 }
 
 // Write stores a disk block through the flash (the flash acts as a

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/trace"
 )
@@ -128,6 +129,7 @@ type Sim struct {
 	// observability (nil when not instrumented)
 	rec         obs.Recorder
 	sampleEvery int64
+	tracer      *span.Tracer
 }
 
 // New builds a simulator with cold (empty) local memory.
@@ -215,8 +217,26 @@ func (s *Sim) Access(page int64, write bool) bool {
 		s.dirty[page] = true
 	}
 	s.observe(page, write, false)
+	if idx := s.stats.Accesses - 1; s.tracer.Sampled(idx) {
+		t := float64(s.stats.Accesses)
+		sid := s.tracer.Emit(0, idx, span.KindSwap, PCIeX4().Name,
+			t, t+PCIeX4().StallPerMissSec*1e6)
+		s.tracer.Emit(sid, idx, span.KindCBF, "",
+			t, t+CBF().StallPerMissSec*1e6)
+	}
 	return false
 }
+
+// InstrumentSpans attaches a causal span tracer: every sampled
+// remote-page fault (sampling by access index, the tracer's stride)
+// emits a "swap" span — the 4 KB page moving over the PCIe blade link —
+// with a nested "cbf" child marking when the critical block arrives and
+// the faulting access can resume. The time axis is the access count;
+// span durations are the interconnect stalls in microseconds on that
+// axis (a swap renders 4 units wide, its CBF child 0.75), which keeps
+// replay exports deterministic and Perfetto-loadable. A nil tracer
+// detaches.
+func (s *Sim) InstrumentSpans(tr *span.Tracer) { s.tracer = tr }
 
 func (s *Sim) observe(page int64, write, hit bool) {
 	if s.rec == nil {

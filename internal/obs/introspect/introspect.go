@@ -1,0 +1,95 @@
+// Package introspect serves live run introspection over HTTP: the
+// latest obs snapshot (progress, counters, gauges, histogram summaries)
+// alongside the standard pprof profiling endpoints.
+//
+// It lives apart from package obs on purpose: obs is linked into every
+// simulator and the benchmark harness, and pulling net/http into those
+// binaries shifts their allocation profile (the B/op figures the bench
+// records track). Only CLIs that actually serve HTTP import this
+// package.
+package introspect
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the live run-introspection endpoint: the simulation
+// goroutine publishes immutable snapshot documents (typically from a
+// probe tick, via obs.Sink.Snapshot), and an HTTP server serves the
+// latest one alongside the standard pprof handlers. Because handlers
+// only ever read the last published bytes, an attached introspection
+// server can never perturb the DES — there is no locking on the
+// simulation side beyond the publish itself, and no simulator state is
+// reached from handlers.
+type Server struct {
+	mu   sync.RWMutex
+	snap []byte
+}
+
+// New returns an endpoint with an empty snapshot.
+func New() *Server {
+	return &Server{snap: []byte("{}")}
+}
+
+// Publish replaces the served snapshot. The caller must not modify b
+// afterwards.
+func (in *Server) Publish(b []byte) {
+	in.mu.Lock()
+	in.snap = b
+	in.mu.Unlock()
+}
+
+// Latest returns the most recently published snapshot bytes.
+func (in *Server) Latest() []byte {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.snap
+}
+
+// Handler returns the introspection mux:
+//
+//	/             index page
+//	/obs          latest snapshot (progress, counters, gauges, hists)
+//	/debug/pprof  the standard runtime profiling endpoints
+func (in *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "warehousesim live introspection\n\n"+
+			"  /obs           latest obs snapshot (progress, counters, gauges, hists)\n"+
+			"  /debug/pprof/  runtime profiles (heap, profile, trace, ...)\n")
+	})
+	mux.HandleFunc("/obs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(in.Latest())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the introspection server on addr (e.g. ":6060"; use
+// ":0" for an ephemeral port). It returns the bound address and a stop
+// function; the server also dies with the process, so CLIs may ignore
+// stop. Listen errors (port taken, bad address) surface synchronously.
+func (in *Server) Serve(addr string) (bound string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("introspect: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: in.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,85 @@
+package span
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"warehousesim/internal/obs"
+)
+
+// WriteTrace exports the sink's span stream as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each span
+// becomes one complete ("X") event: ts/dur are the span start/duration
+// scaled to microseconds (the trace-event unit; simulated seconds for
+// DES runs, access-index units for trace replays), tid is the request's
+// arrival index — so Perfetto renders one lane per sampled request with
+// queue/service/swap slices nested under the request slice — and args
+// carry the span/parent IDs for causal navigation.
+//
+// The writer is hand-rolled rather than encoding/json-driven so the
+// object key order and number formatting are fixed: two same-seed runs
+// export byte-identical files (the determinism CI step diffs them).
+//
+// src is anything that holds recorded events and a manifest — in
+// practice *obs.Sink, accepted via the interface to keep the consumer
+// decoupled from the sink's concrete type.
+func WriteTrace(w io.Writer, src TraceSource) error {
+	bw := bufio.NewWriter(w)
+	m := src.Manifest()
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":%s,\"workload\":%s,\"system\":%s,\"seed\":\"%d\"},\"traceEvents\":[\n",
+		quote("warehousesim-trace/v1"), quote(m.Workload), quote(m.System), m.Seed)
+
+	proc := m.Workload
+	if m.System != "" {
+		proc += "@" + m.System
+	}
+	if proc == "" {
+		proc = "run"
+	}
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":%s}}", quote(proc))
+
+	for _, s := range Decoded(src.Events()) {
+		bw.WriteString(",\n")
+		name := s.Kind
+		if s.Res != "" && s.Res != s.Kind && s.Kind != KindRequest {
+			name = s.Res + "." + s.Kind
+		}
+		fmt.Fprintf(bw, "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d",
+			quote(name), quote(s.Kind), num(s.Start*1e6), num(s.Dur*1e6), s.Req, s.ID, s.Parent)
+		if s.Open {
+			bw.WriteString(",\"open\":1")
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteTraceFile exports the span trace to path.
+func WriteTraceFile(path string, src TraceSource) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("span: %w", err)
+	}
+	werr := WriteTrace(f, src)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("span: writing %s: %w", path, werr)
+	}
+	return nil
+}
+
+// TraceSource is the slice of *obs.Sink the exporters need.
+type TraceSource interface {
+	Events() []obs.EventRecord
+	Manifest() obs.Manifest
+}
+
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func quote(s string) string { return strconv.Quote(s) }

@@ -1,0 +1,250 @@
+// Package span is the causal-tracing layer on top of internal/obs: a
+// deterministic span model threaded through the request lifecycle —
+// request arrival, per-resource queue wait, service, memory-blade page
+// swap (with critical-block-first sub-spans), flash-cache/SAN access —
+// plus the consumers that turn recorded spans into artifacts: a
+// Chrome-trace-event/Perfetto JSON exporter (WriteTrace) and a
+// critical-path latency-attribution analyzer (Analyze).
+//
+// Spans ride the existing obs.Recorder seam as events on the "span"
+// stream, so everything the obs layer guarantees carries over: the
+// disabled path is allocation-free (a nil *Tracer no-ops every method
+// behind a pointer check), recording never perturbs the simulation (no
+// RNG draws, no scheduled events), and exports are byte-identical
+// across same-seed runs (deterministic IDs, fixed field order,
+// insertion-ordered emission).
+//
+// Sampling is deterministic too: a Tracer created with every=N keeps
+// the span tree of every Nth request by arrival index — no coin flips —
+// which keeps full-fidelity traces affordable at millions of requests
+// while remaining reproducible.
+package span
+
+import (
+	"sort"
+
+	"warehousesim/internal/obs"
+)
+
+// Stream is the obs event stream that carries span records.
+const Stream = "span"
+
+// Span kinds. Kinds drive both the Perfetto category and the
+// attribution bucket a span lands in (see Analyze).
+const (
+	// KindRequest is the root span of one request: arrival (or service
+	// start for closed-loop clients) to completion.
+	KindRequest = "request"
+	// KindQueue is time spent waiting for a free server at a resource.
+	KindQueue = "queue"
+	// KindService is time occupying a server at a resource.
+	KindService = "service"
+	// KindSwap is a remote-memory page transfer over the blade link.
+	KindSwap = "swap"
+	// KindCBF is the critical-block-first sub-span of a swap: the
+	// faulting access resumes when the needed block arrives.
+	KindCBF = "cbf"
+	// KindStorage is a flash-cache or SAN storage access.
+	KindStorage = "storage"
+)
+
+// Span is one decoded span record.
+type Span struct {
+	// ID is the tracer-assigned identifier (1-based, dense, in Begin/
+	// Emit order). Parent is the enclosing span's ID, 0 for roots.
+	ID, Parent int64
+	// Req is the arrival index of the request (or access index for the
+	// trace-driven simulators) the span belongs to.
+	Req int64
+	// Kind is one of the Kind* constants; Res names the resource or
+	// link ("cpu", "disk", "net", "memblade", "flash", "san", ...).
+	Kind, Res string
+	// Start and Dur are in the run's time axis units (simulated seconds
+	// for DES runs; access index for trace replays).
+	Start, Dur float64
+	// Open marks a span truncated at the measurement horizon by
+	// FlushOpen: Start+Dur is the horizon, not a real completion.
+	Open bool
+}
+
+// End returns the span's end on its time axis.
+func (s Span) End() float64 { return s.Start + s.Dur }
+
+// Tracer records completed spans into an obs.Recorder with
+// deterministic IDs and deterministic every-Nth-request sampling. The
+// zero of the type is not used: NewTracer returns nil for a disabled
+// recorder, and every method no-ops on a nil receiver, so call sites
+// need no guards and the disabled path allocates nothing.
+type Tracer struct {
+	rec    obs.Recorder
+	every  int64
+	nextID int64
+	open   map[int64]Span
+}
+
+// NewTracer returns a tracer emitting into rec, keeping every Nth
+// request by arrival index (every <= 1 keeps all). A nil or disabled
+// recorder yields a nil tracer, which is safe to use.
+func NewTracer(rec obs.Recorder, every int64) *Tracer {
+	if !obs.On(rec) {
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{rec: rec, every: every, open: map[int64]Span{}}
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Every returns the sampling stride (0 on a nil tracer).
+func (t *Tracer) Every() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Sampled reports whether the request with the given arrival index is
+// kept by the sampling rule (index % every == 0). Always false on a
+// nil tracer, so it doubles as the hot-path guard.
+func (t *Tracer) Sampled(reqIndex int64) bool {
+	return t != nil && reqIndex%t.every == 0
+}
+
+// Emit records a completed span and returns its ID (0 on a nil
+// tracer). Negative durations from floating-point cancellation clamp
+// to zero; zero-duration spans are kept — they mark instantaneous
+// stages (an empty queue, a zero-byte transfer) that the attribution
+// still wants to see.
+func (t *Tracer) Emit(parent, req int64, kind, res string, start, end float64) int64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	id := t.nextID
+	t.emit(Span{ID: id, Parent: parent, Req: req, Kind: kind, Res: res,
+		Start: start, Dur: clampDur(start, end)})
+	return id
+}
+
+// Begin opens a span that will be closed by End — used for root
+// request spans whose completion may never come (the run horizon cuts
+// them off; FlushOpen emits what remains). Returns the span ID.
+func (t *Tracer) Begin(parent, req int64, kind, res string, start float64) int64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	id := t.nextID
+	t.open[id] = Span{ID: id, Parent: parent, Req: req, Kind: kind, Res: res, Start: start}
+	return id
+}
+
+// End closes a span opened by Begin and emits it. Ending an unknown or
+// already-ended ID is a no-op.
+func (t *Tracer) End(id int64, end float64) {
+	if t == nil {
+		return
+	}
+	s, ok := t.open[id]
+	if !ok {
+		return
+	}
+	delete(t.open, id)
+	s.Dur = clampDur(s.Start, end)
+	t.emit(s)
+}
+
+// OpenCount returns the number of spans begun but not yet ended.
+func (t *Tracer) OpenCount() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.open)
+}
+
+// FlushOpen emits every still-open span truncated at horizon and
+// marked open, in ID order so the export stays deterministic. Call it
+// when the measurement window closes with requests still in flight.
+func (t *Tracer) FlushOpen(horizon float64) {
+	if t == nil || len(t.open) == 0 {
+		return
+	}
+	ids := make([]int64, 0, len(t.open))
+	for id := range t.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := t.open[id]
+		delete(t.open, id)
+		s.Dur = clampDur(s.Start, horizon)
+		s.Open = true
+		t.emit(s)
+	}
+}
+
+// emit writes one span record to the event stream. Field order is
+// fixed (id, parent, req, kind, res, dur, open) so Decode and the
+// exporters see a stable layout.
+func (t *Tracer) emit(s Span) {
+	if s.Open {
+		t.rec.Event(Stream, s.Start,
+			obs.F("id", float64(s.ID)), obs.F("parent", float64(s.Parent)),
+			obs.F("req", float64(s.Req)), obs.FS("kind", s.Kind), obs.FS("res", s.Res),
+			obs.F("dur", s.Dur), obs.FB("open", true))
+		return
+	}
+	t.rec.Event(Stream, s.Start,
+		obs.F("id", float64(s.ID)), obs.F("parent", float64(s.Parent)),
+		obs.F("req", float64(s.Req)), obs.FS("kind", s.Kind), obs.FS("res", s.Res),
+		obs.F("dur", s.Dur))
+}
+
+func clampDur(start, end float64) float64 {
+	if end < start {
+		return 0
+	}
+	return end - start
+}
+
+// Decode parses an obs event record back into a Span. ok is false when
+// the record is not from the span stream.
+func Decode(e obs.EventRecord) (s Span, ok bool) {
+	if e.Stream != Stream {
+		return Span{}, false
+	}
+	s.Start = e.T
+	for _, f := range e.Fields {
+		switch f.Key {
+		case "id":
+			s.ID = int64(f.Num)
+		case "parent":
+			s.Parent = int64(f.Num)
+		case "req":
+			s.Req = int64(f.Num)
+		case "kind":
+			s.Kind = f.Str
+		case "res":
+			s.Res = f.Str
+		case "dur":
+			s.Dur = f.Num
+		case "open":
+			s.Open = f.Num != 0
+		}
+	}
+	return s, true
+}
+
+// Decoded returns all spans recorded in the sink, in emission order.
+func Decoded(events []obs.EventRecord) []Span {
+	var out []Span
+	for _, e := range events {
+		if s, ok := Decode(e); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package span
+
+import (
+	"testing"
+
+	"warehousesim/internal/obs"
+)
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Every() != 0 {
+		t.Fatal("nil tracer reports a stride")
+	}
+	if tr.Sampled(0) {
+		t.Fatal("nil tracer samples")
+	}
+	if id := tr.Emit(0, 0, KindRequest, "", 0, 1); id != 0 {
+		t.Fatalf("nil Emit returned id %d", id)
+	}
+	if id := tr.Begin(0, 0, KindRequest, "", 0); id != 0 {
+		t.Fatalf("nil Begin returned id %d", id)
+	}
+	tr.End(1, 2)
+	tr.FlushOpen(10)
+	if tr.OpenCount() != 0 {
+		t.Fatal("nil tracer has open spans")
+	}
+}
+
+func TestNewTracerDisabledRecorder(t *testing.T) {
+	if NewTracer(nil, 1) != nil {
+		t.Fatal("NewTracer(nil) is not nil")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer(obs.NewSink(), 3)
+	want := map[int64]bool{0: true, 1: false, 2: false, 3: true, 6: true, 7: false}
+	for idx, w := range want {
+		if tr.Sampled(idx) != w {
+			t.Errorf("Sampled(%d) = %v, want %v with every=3", idx, !w, w)
+		}
+	}
+	// every < 1 normalizes to keep-all.
+	if all := NewTracer(obs.NewSink(), 0); !all.Sampled(17) {
+		t.Error("every=0 tracer should keep every request")
+	}
+}
+
+func TestEmitIDsDenseAndDecoded(t *testing.T) {
+	sink := obs.NewSink()
+	tr := NewTracer(sink, 1)
+	a := tr.Emit(0, 5, KindRequest, "request", 1.0, 3.0)
+	b := tr.Emit(a, 5, KindQueue, "cpu", 1.0, 1.5)
+	c := tr.Emit(a, 5, KindService, "cpu", 1.5, 3.0)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("ids not dense from 1: %d %d %d", a, b, c)
+	}
+	spans := Decoded(sink.Events())
+	if len(spans) != 3 {
+		t.Fatalf("decoded %d spans, want 3", len(spans))
+	}
+	got := spans[2]
+	want := Span{ID: 3, Parent: 1, Req: 5, Kind: KindService, Res: "cpu", Start: 1.5, Dur: 1.5}
+	if got != want {
+		t.Fatalf("decoded span = %+v, want %+v", got, want)
+	}
+}
+
+func TestZeroDurationSpanKept(t *testing.T) {
+	sink := obs.NewSink()
+	tr := NewTracer(sink, 1)
+	tr.Emit(0, 0, KindQueue, "cpu", 2.0, 2.0) // empty queue: zero wait
+	spans := Decoded(sink.Events())
+	if len(spans) != 1 {
+		t.Fatalf("zero-duration span dropped")
+	}
+	if spans[0].Dur != 0 {
+		t.Fatalf("dur = %g, want 0", spans[0].Dur)
+	}
+}
+
+func TestNegativeDurationClamps(t *testing.T) {
+	sink := obs.NewSink()
+	tr := NewTracer(sink, 1)
+	tr.Emit(0, 0, KindService, "cpu", 2.0, 2.0-1e-18) // fp cancellation
+	if d := Decoded(sink.Events())[0].Dur; d != 0 {
+		t.Fatalf("negative duration not clamped: %g", d)
+	}
+}
+
+func TestBeginEndLifecycle(t *testing.T) {
+	sink := obs.NewSink()
+	tr := NewTracer(sink, 1)
+	id := tr.Begin(0, 0, KindRequest, "request", 1.0)
+	if tr.OpenCount() != 1 {
+		t.Fatalf("open count = %d, want 1", tr.OpenCount())
+	}
+	if len(sink.Events()) != 0 {
+		t.Fatal("Begin emitted before End")
+	}
+	tr.End(id, 4.0)
+	if tr.OpenCount() != 0 {
+		t.Fatal("span still open after End")
+	}
+	s := Decoded(sink.Events())[0]
+	if s.Dur != 3.0 || s.Open {
+		t.Fatalf("ended span = %+v", s)
+	}
+	// Double-End and unknown-End are no-ops.
+	tr.End(id, 9.0)
+	tr.End(999, 9.0)
+	if len(sink.Events()) != 1 {
+		t.Fatal("re-End emitted again")
+	}
+}
+
+func TestFlushOpenTruncatesInIDOrder(t *testing.T) {
+	sink := obs.NewSink()
+	tr := NewTracer(sink, 1)
+	// Begin three, end the middle one; flush the rest at the horizon.
+	a := tr.Begin(0, 0, KindRequest, "request", 1.0)
+	b := tr.Begin(0, 1, KindRequest, "request", 2.0)
+	c := tr.Begin(0, 2, KindRequest, "request", 3.0)
+	tr.End(b, 4.0)
+	tr.FlushOpen(10.0)
+	if tr.OpenCount() != 0 {
+		t.Fatal("spans still open after FlushOpen")
+	}
+	spans := Decoded(sink.Events())
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Emission order: b (ended), then a and c in ID order.
+	if spans[0].ID != b || spans[1].ID != a || spans[2].ID != c {
+		t.Fatalf("flush order: %d %d %d, want %d %d %d",
+			spans[0].ID, spans[1].ID, spans[2].ID, b, a, c)
+	}
+	for _, s := range spans[1:] {
+		if !s.Open {
+			t.Fatalf("flushed span %d not marked open", s.ID)
+		}
+		if s.End() != 10.0 {
+			t.Fatalf("flushed span %d ends at %g, want horizon 10", s.ID, s.End())
+		}
+	}
+	if spans[0].Open {
+		t.Fatal("normally-ended span marked open")
+	}
+}
+
+func TestDecodeRejectsOtherStreams(t *testing.T) {
+	sink := obs.NewSink()
+	sink.Event("request", 1.0, obs.F("latency_sec", 0.5))
+	if _, ok := Decode(sink.Events()[0]); ok {
+		t.Fatal("Decode accepted a non-span stream")
+	}
+	if n := len(Decoded(sink.Events())); n != 0 {
+		t.Fatalf("Decoded returned %d spans from a span-free sink", n)
+	}
+}
