@@ -4,11 +4,16 @@
 #   make test    — plain tests (the seed tier-1 command)
 #   make bench   — benchmark harness with allocation reporting
 #   make bench-json — machine-readable micro-bench record (BENCH_$(N).json)
+#   make bench-diff — regression-gate BENCH_NEW against BENCH_OLD
+#                     (non-zero exit when ns/op regresses past the
+#                     tolerance or B/op / allocs/op grow at all)
 
 GO ?= go
 N ?= 2
+BENCH_OLD ?= BENCH_2.json
+BENCH_NEW ?= BENCH_3.json
 
-.PHONY: check vet build test test-race fmt bench bench-json
+.PHONY: check vet build test test-race fmt bench bench-json bench-diff
 
 check: vet build test-race fmt
 
@@ -34,3 +39,6 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/whbench -bench-json BENCH_$(N).json
+
+bench-diff:
+	$(GO) run ./cmd/whbench -bench-diff $(BENCH_OLD) $(BENCH_NEW)

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchDiffLine is one benchmark's old-vs-new comparison.
+type benchDiffLine struct {
+	name               string
+	oldNs, newNs       float64
+	oldBytes, newBytes int64
+	oldAlloc, newAlloc int64
+	missing            bool // present in old, absent in new
+	regressed          []string
+}
+
+// readBenchDoc loads and validates a warehousesim-bench/v1 record.
+func readBenchDoc(path string) (benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return benchDoc{}, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return benchDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != "warehousesim-bench/v1" {
+		return benchDoc{}, fmt.Errorf("%s: unexpected schema %q", path, doc.Schema)
+	}
+	return doc, nil
+}
+
+// relDelta returns (new-old)/old; 0 when old is 0.
+func relDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}
+
+// diffBenchDocs compares the two records benchmark by benchmark.
+// B/op and allocs/op are deterministic for a fixed seed, so ANY
+// increase is a regression; ns/op moves with the machine, so it only
+// regresses beyond nsTolerance (a fraction, e.g. 0.10 = +10%).
+// Benchmarks present only in the new record are informational;
+// benchmarks that disappeared are regressions (a silently dropped
+// benchmark hides whatever it guarded).
+func diffBenchDocs(oldDoc, newDoc benchDoc, nsTolerance float64) []benchDiffLine {
+	newByName := map[string]benchRecord{}
+	for _, r := range newDoc.Benchmarks {
+		newByName[r.Name] = r
+	}
+	var out []benchDiffLine
+	for _, o := range oldDoc.Benchmarks {
+		n, ok := newByName[o.Name]
+		if !ok {
+			out = append(out, benchDiffLine{name: o.Name, missing: true,
+				regressed: []string{"benchmark disappeared"}})
+			continue
+		}
+		l := benchDiffLine{
+			name:  o.Name,
+			oldNs: o.NsPerOp, newNs: n.NsPerOp,
+			oldBytes: o.BytesPerOp, newBytes: n.BytesPerOp,
+			oldAlloc: o.AllocsPerOp, newAlloc: n.AllocsPerOp,
+		}
+		if d := relDelta(o.NsPerOp, n.NsPerOp); d > nsTolerance {
+			l.regressed = append(l.regressed, fmt.Sprintf("ns/op +%.1f%% (tolerance %.0f%%)", d*100, nsTolerance*100))
+		}
+		if n.BytesPerOp > o.BytesPerOp {
+			l.regressed = append(l.regressed, fmt.Sprintf("B/op %d -> %d", o.BytesPerOp, n.BytesPerOp))
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			l.regressed = append(l.regressed, fmt.Sprintf("allocs/op %d -> %d", o.AllocsPerOp, n.AllocsPerOp))
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// runBenchDiff prints the comparison table and returns an error when
+// any benchmark regressed — so `whbench -bench-diff old.json new.json`
+// exits non-zero and CI can gate on it.
+func runBenchDiff(oldPath, newPath string, nsTolerance float64) error {
+	oldDoc, err := readBenchDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := readBenchDoc(newPath)
+	if err != nil {
+		return err
+	}
+	lines := diffBenchDocs(oldDoc, newDoc, nsTolerance)
+
+	fmt.Printf("bench-diff %s (%s) -> %s (%s)\n", oldPath, oldDoc.GitRev, newPath, newDoc.GitRev)
+	fmt.Printf("%-22s %14s %14s %12s %12s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs/op Δ", "verdict")
+	bad := 0
+	for _, l := range lines {
+		if l.missing {
+			fmt.Printf("%-22s %14s %14s %12s %12s\n", l.name, "-", "-", "-", "MISSING")
+			bad++
+			continue
+		}
+		verdict := "ok"
+		if len(l.regressed) > 0 {
+			verdict = "REGRESSED"
+			bad++
+		}
+		fmt.Printf("%-22s %+13.1f%% %+13.1f%% %+11.1f%% %12s\n",
+			l.name,
+			relDelta(l.oldNs, l.newNs)*100,
+			relDelta(float64(l.oldBytes), float64(l.newBytes))*100,
+			relDelta(float64(l.oldAlloc), float64(l.newAlloc))*100,
+			verdict)
+		for _, r := range l.regressed {
+			fmt.Printf("    %s\n", r)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("bench-diff: %d of %d benchmarks regressed", bad, len(lines))
+	}
+	fmt.Printf("no regressions (%d benchmarks, ns/op tolerance %.0f%%)\n", len(lines), nsTolerance*100)
+	return nil
+}

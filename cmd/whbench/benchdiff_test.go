@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func doc(recs ...benchRecord) benchDoc {
+	return benchDoc{Schema: "warehousesim-bench/v1", Benchmarks: recs}
+}
+
+func rec(name string, ns float64, bytes, allocs int64) benchRecord {
+	return benchRecord{Name: name, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+}
+
+func regressions(lines []benchDiffLine) int {
+	n := 0
+	for _, l := range lines {
+		if len(l.regressed) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDiffBenchDocsOK(t *testing.T) {
+	oldDoc := doc(rec("a", 100, 1000, 10), rec("b", 50, 0, 0))
+	newDoc := doc(rec("a", 105, 900, 8), rec("b", 54, 0, 0)) // ns within 10%, fewer allocs
+	lines := diffBenchDocs(oldDoc, newDoc, 0.10)
+	if got := regressions(lines); got != 0 {
+		t.Fatalf("%d regressions, want 0: %+v", got, lines)
+	}
+}
+
+func TestDiffBenchDocsNsTolerance(t *testing.T) {
+	oldDoc := doc(rec("a", 100, 0, 0))
+	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 125, 0, 0)), 0.10)); got != 1 {
+		t.Fatalf("ns/op +25%% past 10%% tolerance: %d regressions, want 1", got)
+	}
+	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 125, 0, 0)), 0.30)); got != 0 {
+		t.Fatalf("ns/op +25%% within 30%% tolerance: %d regressions, want 0", got)
+	}
+}
+
+func TestDiffBenchDocsAllocRegressionHasNoTolerance(t *testing.T) {
+	oldDoc := doc(rec("a", 100, 1000, 10))
+	// ns/op improved, but a single extra byte per op is deterministic
+	// for a fixed seed — any increase regresses.
+	lines := diffBenchDocs(oldDoc, doc(rec("a", 90, 1001, 10)), 0.10)
+	if got := regressions(lines); got != 1 {
+		t.Fatalf("B/op +1: %d regressions, want 1", got)
+	}
+	lines = diffBenchDocs(oldDoc, doc(rec("a", 90, 1000, 11)), 0.10)
+	if got := regressions(lines); got != 1 {
+		t.Fatalf("allocs/op +1: %d regressions, want 1", got)
+	}
+}
+
+func TestDiffBenchDocsMissingBenchmark(t *testing.T) {
+	oldDoc := doc(rec("a", 100, 0, 0), rec("gone", 10, 0, 0))
+	lines := diffBenchDocs(oldDoc, doc(rec("a", 100, 0, 0)), 0.10)
+	if got := regressions(lines); got != 1 {
+		t.Fatalf("disappeared benchmark: %d regressions, want 1", got)
+	}
+	for _, l := range lines {
+		if l.name == "gone" && !l.missing {
+			t.Fatal("disappeared benchmark not flagged missing")
+		}
+	}
+	// A benchmark only in the new record is informational, not a diff line.
+	lines = diffBenchDocs(oldDoc, doc(rec("a", 100, 0, 0), rec("gone", 10, 0, 0), rec("new", 1, 0, 0)), 0.10)
+	if got := regressions(lines); got != 0 {
+		t.Fatalf("new-only benchmark: %d regressions, want 0", got)
+	}
+}
+
+func TestReadBenchDocValidatesSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v2","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBenchDoc(bad); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := readBenchDoc(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

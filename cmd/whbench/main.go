@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"warehousesim/experiments"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/introspect"
 )
 
 func main() {
@@ -29,6 +31,10 @@ func main() {
 	obsOn := flag.Bool("obs", false, "record registry-level observability streams")
 	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default bench.jsonl)")
 	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write a warehousesim-bench/v1 JSON record here, then exit")
+	benchDiff := flag.Bool("bench-diff", false, "compare two bench-json records (args: old.json new.json) and exit non-zero on regression")
+	diffThreshold := flag.Float64("diff-threshold", 0.10, "relative ns/op regression tolerance for -bench-diff (B/op and allocs/op must not regress at all)")
+	par := flag.Int("par", runtime.NumCPU(), "worker goroutines for the experiment suite and its internal sweeps (1 = sequential; reports are identical at any value)")
+	httpAddr := flag.String("http", "", "serve live introspection (/obs snapshot with per-experiment progress, /debug/pprof) on this address, e.g. :6060")
 	seed := flag.Uint64("seed", 1, "simulation seed for -bench-json")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -36,6 +42,19 @@ func main() {
 
 	if *obsOut != "" {
 		*obsOn = true
+	}
+	if *par < 1 {
+		log.Fatalf("-par must be >= 1, got %d", *par)
+	}
+
+	if *benchDiff {
+		if flag.NArg() != 2 {
+			log.Fatal("-bench-diff needs exactly two arguments: old.json new.json")
+		}
+		if err := runBenchDiff(flag.Arg(0), flag.Arg(1), *diffThreshold); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *benchJSON != "" {
@@ -63,6 +82,20 @@ func main() {
 		return
 	}
 
+	// Live /obs progress snapshots need a sink even when no export was
+	// requested — but only an explicit ask should write an obs file.
+	exportObs := *obsOn
+	var intro *introspect.Server
+	if *httpAddr != "" {
+		*obsOn = true
+		intro = introspect.New()
+		bound, _, err := intro.Serve(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection: serving http://%s (/obs, /debug/pprof) for the process lifetime", bound)
+	}
+
 	var sink *obs.Sink
 	var rec obs.Recorder
 	if *obsOn {
@@ -71,6 +104,24 @@ func main() {
 	}
 	start := time.Now()
 
+	// Per-experiment progress rides the introspection snapshot with the
+	// experiment id as the phase; the hook fires on the commit goroutine,
+	// so suite workers never touch the sink.
+	var onDone func(experiments.SuiteProgress)
+	if intro != nil {
+		pub := func(phase string, done, total int) {
+			if b, err := sink.Snapshot(obs.Progress{
+				Phase: phase, SimTimeSec: float64(done), HorizonSec: float64(total),
+			}); err == nil {
+				intro.Publish(b)
+			}
+		}
+		pub("start", 0, len(experiments.IDs()))
+		onDone = func(p experiments.SuiteProgress) { pub(p.ID, p.Done, p.Total) }
+		defer func() { pub("done", len(experiments.IDs()), len(experiments.IDs())) }()
+	}
+
+	experiments.SetSweepParallelism(*par)
 	runID := "all"
 	if *exp != "" {
 		runID = *exp
@@ -80,7 +131,7 @@ func main() {
 		}
 		fmt.Print(rep)
 	} else {
-		reps, err := experiments.RunAllWith(rec)
+		reps, err := experiments.RunAllPar(rec, *par, onDone)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +140,7 @@ func main() {
 		}
 	}
 
-	if sink != nil {
+	if sink != nil && exportObs {
 		man := obs.NewManifest("suite", runID, 0)
 		man.Config["experiments"] = fmt.Sprintf("%d", sink.CounterValue("experiments.runs"))
 		man.WallSec = time.Since(start).Seconds()

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +55,7 @@ func main() {
 	wl := flag.String("workload", "websearch", "benchmark name")
 	useDES := flag.Bool("des", false, "run the discrete-event simulation instead of the analytic solver")
 	seed := flag.Uint64("seed", 1, "simulation seed (DES only)")
+	par := flag.Int("par", runtime.NumCPU(), "worker goroutines for speculative search trials (1 = sequential; results are identical at any value)")
 	measure := flag.Float64("measure", 120, "DES measurement window seconds")
 	obsOn := flag.Bool("obs", false, "record observability streams of the DES run (requires -des)")
 	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default run.jsonl)")
@@ -70,6 +72,9 @@ func main() {
 	if *measure <= 0 {
 		log.Fatalf("-measure must be positive, got %g", *measure)
 	}
+	if *par < 1 {
+		log.Fatalf("-par must be >= 1, got %d", *par)
+	}
 	tracing := *traceOut != "" || *attrOut != ""
 	if *obsOut != "" || tracing {
 		*obsOn = true
@@ -84,7 +89,7 @@ func main() {
 	if !*useDES {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "seed", "measure", "probe-interval", "trace-every":
+			case "seed", "measure", "probe-interval", "trace-every", "par":
 				log.Printf("warning: -%s has no effect without -des", f.Name)
 			}
 		})
@@ -160,6 +165,7 @@ func main() {
 		opts.Seed = *seed
 		opts.MeasureSec = *measure
 		opts.ProbeIntervalSec = *probeInterval
+		opts.Parallelism = *par
 
 		var sink *obs.Sink
 		if *obsOn {

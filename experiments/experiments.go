@@ -97,36 +97,37 @@ func RunWith(id string, rec obs.Recorder) (Report, error) {
 func RunAll() ([]Report, error) { return RunAllWith(nil) }
 
 // RunAllWith executes every registered experiment in order, recording
-// registry-level observability into rec (may be nil).
+// registry-level observability into rec (may be nil). For parallel
+// execution with identical output, see RunAllPar.
 func RunAllWith(rec obs.Recorder) ([]Report, error) {
-	out := make([]Report, 0, len(registry))
-	for _, e := range registry {
-		r, err := runEntry(e, rec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", e.id, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunAllPar(rec, 1, nil)
 }
 
-// runEntry invokes one experiment and records its outcome. The event's
-// time axis is the registry order, which is stable across builds.
+// runEntry invokes one experiment and records its outcome.
 func runEntry(e entry, rec obs.Recorder) (Report, error) {
 	r, err := e.run()
-	if obs.On(rec) {
-		rec.Count("experiments.runs", 1)
-		if err != nil {
-			rec.Count("experiments.errors", 1)
-			rec.Event("experiment", float64(e.order),
-				obs.FS("id", e.id), obs.FS("error", err.Error()))
-		} else {
-			rec.Observe("experiment.report_lines", float64(len(r.Lines)))
-			rec.Event("experiment", float64(e.order),
-				obs.FS("id", e.id), obs.F("report_lines", float64(len(r.Lines))))
-		}
-	}
+	recordEntry(e, r, err, rec)
 	return r, err
+}
+
+// recordEntry records one finished experiment's registry-level
+// observability. The event's time axis is the registry order, which is
+// stable across builds — and, in parallel suite runs, the commit order,
+// so recorded streams are identical at any worker count.
+func recordEntry(e entry, r Report, err error, rec obs.Recorder) {
+	if !obs.On(rec) {
+		return
+	}
+	rec.Count("experiments.runs", 1)
+	if err != nil {
+		rec.Count("experiments.errors", 1)
+		rec.Event("experiment", float64(e.order),
+			obs.FS("id", e.id), obs.FS("error", err.Error()))
+	} else {
+		rec.Observe("experiment.report_lines", float64(len(r.Lines)))
+		rec.Event("experiment", float64(e.order),
+			obs.FS("id", e.id), obs.F("report_lines", float64(len(r.Lines))))
+	}
 }
 
 // pct renders a fraction as a percent string.

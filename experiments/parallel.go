@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"warehousesim/internal/obs"
+)
+
+// This file is the deterministic parallel sweep engine. Two levels of
+// parallelism compose:
+//
+//   - RunAllPar fans whole experiments across a worker pool and commits
+//     their results — reports, registry-level observability, progress
+//     callbacks — strictly in registry order.
+//   - RunCells fans the independent (design x profile x trial) cells
+//     INSIDE an experiment (see validate.go) across a pool, with results
+//     written to caller-indexed slots and merged in cell order.
+//
+// Both are speculative-but-ordered: workers may compute ahead of the
+// commit point, but nothing observable (report order, recorder
+// contents, error selection) depends on completion order, so output is
+// byte-identical to the sequential path at any worker count. Each cell
+// must be self-contained — own Sim, own RNG, own generator — which
+// every registered experiment already guarantees.
+
+// SweepParallelism is the worker count experiments use for their
+// internal cell sweeps (RunCells callers read it); 1 means sequential.
+// Set it once, before running experiments — it is read concurrently by
+// suite workers and must not change mid-run.
+var sweepParallelism = 1
+
+// SetSweepParallelism sets the internal-sweep worker count (values < 1
+// clamp to 1). Call before Run/RunAll, never during.
+func SetSweepParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sweepParallelism = n
+}
+
+// SweepParallelism returns the current internal-sweep worker count.
+func SweepParallelism() int { return sweepParallelism }
+
+// RunCells executes n independent cells across min(par, n) workers and
+// returns when all have finished. Cells receive their index and must
+// write results only to their own slot of a caller-owned slice; the
+// caller merges in index order afterwards, which keeps any derived
+// output identical to running the cells sequentially.
+func RunCells(par, n int, cell func(i int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			cell(i)
+		}
+		return
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SuiteProgress describes one committed experiment of a suite run.
+type SuiteProgress struct {
+	// ID is the experiment just committed; Index its registry position.
+	ID    string
+	Index int
+	// Done experiments out of Total have committed (Done = Index+1 as
+	// long as no experiment errored).
+	Done, Total int
+}
+
+// RunAllPar executes every registered experiment, fanning runs across
+// par workers (par <= 1 is fully sequential) while committing results
+// strictly in registry order: reports, the registry-level observability
+// recorded into rec, and the onDone progress hook (both may be nil).
+// Output is identical for every par — an error at registry position i
+// returns that error and discards any speculative results after i,
+// exactly as the sequential loop would never have run them.
+func RunAllPar(rec obs.Recorder, par int, onDone func(SuiteProgress)) ([]Report, error) {
+	entries := registry
+	if par > len(entries) {
+		par = len(entries)
+	}
+	out := make([]Report, 0, len(entries))
+	commit := func(i int, e entry, r Report, err error) error {
+		recordEntry(e, r, err, rec)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.id, err)
+		}
+		out = append(out, r)
+		if onDone != nil {
+			onDone(SuiteProgress{ID: e.id, Index: i, Done: len(out), Total: len(entries)})
+		}
+		return nil
+	}
+
+	if par <= 1 {
+		for i, e := range entries {
+			r, err := e.run()
+			if err := commit(i, e, r, err); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	type result struct {
+		rep Report
+		err error
+	}
+	results := make([]result, len(entries))
+	ready := make([]chan struct{}, len(entries))
+	next := make(chan int, len(entries))
+	for i := range entries {
+		ready[i] = make(chan struct{})
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := entries[i].run()
+				results[i] = result{rep: r, err: err}
+				close(ready[i])
+			}
+		}()
+	}
+	// On early error the remaining speculative runs are left to drain;
+	// they touch only their own slots.
+	defer wg.Wait()
+
+	for i, e := range entries {
+		<-ready[i]
+		if err := commit(i, e, results[i].rep, results[i].err); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

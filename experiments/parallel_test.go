@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"warehousesim/internal/obs"
+)
+
+// withStubRegistry swaps the package registry for synthetic entries so
+// the suite engine can be exercised without running real experiments.
+func withStubRegistry(t *testing.T, entries []entry) {
+	t.Helper()
+	saved := registry
+	registry = entries
+	t.Cleanup(func() { registry = saved })
+}
+
+func stubEntries(n int, failAt int) []entry {
+	out := make([]entry, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out[i] = entry{
+			id:    fmt.Sprintf("stub%02d", i),
+			title: fmt.Sprintf("stub experiment %d", i),
+			order: i,
+			run: func() (Report, error) {
+				if i == failAt {
+					return Report{}, errors.New("synthetic failure")
+				}
+				r := Report{ID: fmt.Sprintf("stub%02d", i), Title: "stub"}
+				for l := 0; l <= i; l++ {
+					r.addf("line %d of %d", l, i)
+				}
+				return r, nil
+			},
+		}
+	}
+	return out
+}
+
+// suiteRun captures everything observable from one RunAllPar call.
+type suiteRun struct {
+	reps     []Report
+	err      string
+	export   []byte
+	progress []SuiteProgress
+}
+
+func runSuite(t *testing.T, par int) suiteRun {
+	t.Helper()
+	sink := obs.NewSink()
+	var prog []SuiteProgress
+	reps, err := RunAllPar(sink, par, func(p SuiteProgress) { prog = append(prog, p) })
+	var buf bytes.Buffer
+	if werr := sink.WriteJSONL(&buf); werr != nil {
+		t.Fatal(werr)
+	}
+	s := suiteRun{reps: reps, export: buf.Bytes(), progress: prog}
+	if err != nil {
+		s.err = err.Error()
+	}
+	return s
+}
+
+// TestRunAllParMatchesSequential: reports, recorded observability, and
+// progress callbacks are byte-identical at any worker count.
+func TestRunAllParMatchesSequential(t *testing.T) {
+	withStubRegistry(t, stubEntries(9, -1))
+	seq := runSuite(t, 1)
+	if len(seq.reps) != 9 {
+		t.Fatalf("sequential run returned %d reports, want 9", len(seq.reps))
+	}
+	for _, par := range []int{2, 4, 16} {
+		got := runSuite(t, par)
+		if !reflect.DeepEqual(got.reps, seq.reps) {
+			t.Fatalf("par=%d reports differ from sequential", par)
+		}
+		if !bytes.Equal(got.export, seq.export) {
+			t.Fatalf("par=%d obs export differs from sequential", par)
+		}
+		if !reflect.DeepEqual(got.progress, seq.progress) {
+			t.Fatalf("par=%d progress %+v != sequential %+v", par, got.progress, seq.progress)
+		}
+	}
+}
+
+// TestRunAllParErrorEquivalence: an error at registry position i yields
+// the same error and the same recorded prefix at any worker count —
+// speculative results past the failure are discarded uncommitted.
+func TestRunAllParErrorEquivalence(t *testing.T) {
+	withStubRegistry(t, stubEntries(7, 3))
+	seq := runSuite(t, 1)
+	if seq.err == "" {
+		t.Fatal("sequential run did not surface the synthetic failure")
+	}
+	if len(seq.progress) != 3 {
+		t.Fatalf("sequential run committed %d experiments before the failure, want 3", len(seq.progress))
+	}
+	for _, par := range []int{2, 8} {
+		got := runSuite(t, par)
+		if got.err != seq.err {
+			t.Fatalf("par=%d error %q != sequential %q", par, got.err, seq.err)
+		}
+		if !bytes.Equal(got.export, seq.export) {
+			t.Fatalf("par=%d obs export differs from sequential after failure", par)
+		}
+		if !reflect.DeepEqual(got.progress, seq.progress) {
+			t.Fatalf("par=%d progress after failure %+v != %+v", par, got.progress, seq.progress)
+		}
+	}
+}
+
+// TestRunCells: every cell runs exactly once, slot writes land, and the
+// merged view is independent of the worker count.
+func TestRunCells(t *testing.T) {
+	const n = 37
+	for _, par := range []int{1, 3, 64} {
+		out := make([]int, n)
+		var calls atomic.Int64
+		RunCells(par, n, func(i int) {
+			calls.Add(1)
+			out[i] = i * i
+		})
+		if calls.Load() != n {
+			t.Fatalf("par=%d: %d cell calls, want %d", par, calls.Load(), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par=%d: slot %d = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSetSweepParallelismClamps(t *testing.T) {
+	saved := SweepParallelism()
+	t.Cleanup(func() { SetSweepParallelism(saved) })
+	SetSweepParallelism(-5)
+	if got := SweepParallelism(); got != 1 {
+		t.Fatalf("SweepParallelism after SetSweepParallelism(-5) = %d, want 1", got)
+	}
+	SetSweepParallelism(8)
+	if got := SweepParallelism(); got != 8 {
+		t.Fatalf("SweepParallelism = %d, want 8", got)
+	}
+}

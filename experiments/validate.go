@@ -64,31 +64,50 @@ func runValidate() (Report, error) {
 	}
 	r.Lines = append(r.Lines, hdr)
 
-	for _, p := range workload.SuiteProfiles() {
-		prof := p
+	// Every (profile, platform) cell is self-contained — fresh generator,
+	// fresh Sim, fixed seed — so the grid fans across the sweep engine's
+	// workers and merges in cell order (byte-identical to sequential).
+	profiles := workload.SuiteProfiles()
+	type cellResult struct {
+		text string
+		err  error
+	}
+	cells := make([]cellResult, len(profiles)*len(platforms))
+	RunCells(SweepParallelism(), len(cells), func(i int) {
+		prof := profiles[i/len(platforms)]
 		if prof.Batch {
 			prof.JobRequests = 400 // keep DES runs short; ratio is scale-free
 		}
+		cfg := cluster.Config{Server: platforms[i%len(platforms)]}
+		ana, err := cfg.Analyze(prof)
+		if err != nil {
+			cells[i].err = err
+			return
+		}
+		gen, err := validationGenerator(prof)
+		if err != nil {
+			cells[i].err = err
+			return
+		}
+		sim, err := cfg.Simulate(gen, opts)
+		if err != nil {
+			cells[i].err = err
+			return
+		}
+		cell := ratioX(sim.Perf / ana.Perf)
+		if sim.QoSMet != ana.QoSMet {
+			cell += " *"
+		}
+		cells[i].text = cell
+	})
+	for pi, p := range profiles {
 		row := pad(p.Name, 11)
-		for _, s := range platforms {
-			cfg := cluster.Config{Server: s}
-			ana, err := cfg.Analyze(prof)
-			if err != nil {
-				return Report{}, err
+		for si := range platforms {
+			c := cells[pi*len(platforms)+si]
+			if c.err != nil {
+				return Report{}, c.err
 			}
-			gen, err := validationGenerator(prof)
-			if err != nil {
-				return Report{}, err
-			}
-			sim, err := cfg.Simulate(gen, opts)
-			if err != nil {
-				return Report{}, err
-			}
-			cell := ratioX(sim.Perf / ana.Perf)
-			if sim.QoSMet != ana.QoSMet {
-				cell += " *"
-			}
-			row += pad(cell, 24)
+			row += pad(c.text, 24)
 		}
 		r.Lines = append(r.Lines, row)
 	}

@@ -69,14 +69,40 @@ func (d Demands) Total() float64 { return d.CPUSec + d.DiskSec + d.NetSec }
 // core-equivalents in aggregate, matching Profile.EffectiveCores — and
 // by the memory-sharing slowdown.
 func (c Config) DemandsFor(p workload.Profile, req workload.Request) Demands {
-	rel := p.RelativeCoreSpeed(c.Server.CPU)
-	cores := float64(c.Server.CPU.Cores())
-	inflate := math.Pow(cores, 1-p.CoreScalingBeta)
-	cpu := req.CPURefSec / rel * inflate * (1 + c.MemSlowdown)
+	return c.demandModelFor(p).For(req)
+}
+
+// demandModel caches the per-(config, profile) constants of DemandsFor
+// so the per-request mapping is pure arithmetic: no math.Pow, and no
+// re-boxing of the storage subsystem into its interface on every
+// request. Trial loops build one model up front and call For per
+// request.
+type demandModel struct {
+	rel       float64
+	inflate   float64
+	memFactor float64
+	st        Storage
+	netBps    float64
+}
+
+func (c Config) demandModelFor(p workload.Profile) demandModel {
+	return demandModel{
+		rel:       p.RelativeCoreSpeed(c.Server.CPU),
+		inflate:   math.Pow(float64(c.Server.CPU.Cores()), 1-p.CoreScalingBeta),
+		memFactor: 1 + c.MemSlowdown,
+		st:        c.storage(),
+		netBps:    c.Server.NIC.BytesPerSec(),
+	}
+}
+
+// For maps one request. The CPU expression keeps the exact operation
+// order of the original inline computation (divide, then the two
+// multiplies left to right) so demands stay bit-identical.
+func (m demandModel) For(req workload.Request) Demands {
 	return Demands{
-		CPUSec:  cpu,
-		DiskSec: ServiceTime(c.storage(), req),
-		NetSec:  req.NetBytes / c.Server.NIC.BytesPerSec(),
+		CPUSec:  req.CPURefSec / m.rel * m.inflate * m.memFactor,
+		DiskSec: ServiceTime(m.st, req),
+		NetSec:  req.NetBytes / m.netBps,
 	}
 }
 

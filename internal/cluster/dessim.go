@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"warehousesim/internal/des"
 	"warehousesim/internal/obs"
@@ -24,6 +25,17 @@ type SimOptions struct {
 	// BatchConcurrency is the task parallelism for batch jobs (the paper
 	// runs Hadoop with 4 threads per CPU); 0 means 4 x cores.
 	BatchConcurrency int
+
+	// Parallelism is the number of worker goroutines the adaptive
+	// client driver may use to run its ramp trials speculatively (each
+	// trial stays single-threaded and seeded). 0 or 1 is fully
+	// sequential. Results are identical for every value: speculative
+	// trials reproduce the sequential seed schedule exactly and are
+	// consumed in sequential order, with work beyond the sequential
+	// stopping point discarded. Speculation requires a generator that
+	// advertises workload.IsStateless; stateful generators silently use
+	// the sequential path.
+	Parallelism int
 
 	// Obs, when non-nil and enabled, receives the observability streams
 	// of the run: per-request latency/QoS events, resource utilization
@@ -57,6 +69,14 @@ func (o SimOptions) probeInterval() des.Time {
 	return 1
 }
 
+// parallelism resolves the speculative-trial worker count.
+func (o SimOptions) parallelism() int {
+	if o.Parallelism > 1 {
+		return o.Parallelism
+	}
+	return 1
+}
+
 // DefaultSimOptions returns sensible defaults for validation runs.
 func DefaultSimOptions() SimOptions {
 	return SimOptions{Seed: 1, WarmupSec: 30, MeasureSec: 240, MaxClients: 4096}
@@ -74,6 +94,9 @@ func (o SimOptions) validate() error {
 	}
 	if o.TraceEvery < 0 {
 		return fmt.Errorf("cluster: negative trace sampling stride %d", o.TraceEvery)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("cluster: negative parallelism %d", o.Parallelism)
 	}
 	return nil
 }
@@ -95,55 +118,6 @@ func (c Config) newSimServer(sim *des.Sim) *simServer {
 	}
 }
 
-// serve runs one request through cpu -> disk -> net and calls done with
-// the total residence time.
-func (s *simServer) serve(d Demands, done func(latency float64)) {
-	start := s.sim.Now()
-	s.cpu.Submit(des.Time(d.CPUSec), func() {
-		s.disk.Submit(des.Time(d.DiskSec), func() {
-			s.net.Submit(des.Time(d.NetSec), func() {
-				done(float64(s.sim.Now() - start))
-			})
-		})
-	})
-}
-
-// serveTraced mirrors serve exactly — same Submit calls, same delays,
-// same event ordering, so a traced request follows the trajectory an
-// untraced one would — and additionally records the request's causal
-// span tree: a root request span plus queue/service spans per resource.
-// Queue wait is recovered without touching the resource hot path: FIFO
-// service is non-preemptive, so service started at completion-minus-
-// service and everything between submit and that instant was queueing.
-// memFrac > 0 carves the remote-memory share out of cpu service as a
-// nested swap span (the §3.4 slowdown is folded into CPUSec; the span
-// makes it attributable again).
-func (s *simServer) serveTraced(d Demands, tr *span.Tracer, req int64, memFrac float64, done func(latency float64)) {
-	start := s.sim.Now()
-	root := tr.Begin(0, req, span.KindRequest, "request", float64(start))
-	stage := func(r *des.Resource, svc float64, frac float64, next func()) {
-		submit := float64(s.sim.Now())
-		r.Submit(des.Time(svc), func() {
-			end := float64(s.sim.Now())
-			began := end - svc
-			tr.Emit(root, req, span.KindQueue, r.Name(), submit, began)
-			sid := tr.Emit(root, req, span.KindService, r.Name(), began, end)
-			if frac > 0 {
-				tr.Emit(sid, req, span.KindSwap, "memblade", began, began+svc*frac)
-			}
-			next()
-		})
-	}
-	stage(s.cpu, d.CPUSec, memFrac, func() {
-		stage(s.disk, d.DiskSec, 0, func() {
-			stage(s.net, d.NetSec, 0, func() {
-				tr.End(root, float64(s.sim.Now()))
-				done(float64(s.sim.Now() - start))
-			})
-		})
-	})
-}
-
 // memSwapFraction is the share of cpu service time attributable to
 // remote-memory page swaps: CPUSec includes the (1 + MemSlowdown)
 // inflation, so the swap share is MemSlowdown/(1+MemSlowdown).
@@ -161,145 +135,6 @@ type trialOutcome struct {
 	p95Latency  float64
 	qosMet      bool
 	utilization map[string]float64
-}
-
-// runTrial simulates nClients closed-loop clients and measures sustained
-// throughput and latency percentiles over the measurement window. With a
-// live recorder it also emits the per-request event stream and attaches
-// the kernel/resource timeline probes; recording only observes, so the
-// outcome is identical to an uninstrumented trial at the same seed.
-func (c Config) runTrial(gen workload.Generator, p workload.Profile, nClients int, opt SimOptions, seed uint64, rec obs.Recorder) trialOutcome {
-	sim := des.NewSim()
-	srv := c.newSimServer(sim)
-	rng := stats.NewRNG(seed)
-	hist := stats.NewLatencyHistogram()
-
-	recording := obs.On(rec)
-	if recording {
-		gen = workload.Instrument(gen, rec)
-	}
-	// tracer stays nil unless the run both records and asked for spans;
-	// every tracer method no-ops on nil, so the recording-but-untraced
-	// path pays one nil check per request.
-	var tracer *span.Tracer
-	if recording && opt.TraceEvery > 0 {
-		tracer = span.NewTracer(rec, opt.TraceEvery)
-	}
-
-	measuring := false
-	completed := 0
-
-	think := stats.Exponential{Mean: p.ThinkTimeSec}
-
-	// Two client-loop bodies: the uninstrumented one is the untouched hot
-	// path (its closures capture nothing observability-related, so per-trial
-	// allocation is identical to a build without obs); the recording one
-	// additionally emits the per-request event stream.
-	var clientLoop func(r *stats.RNG)
-	if !recording {
-		clientLoop = func(r *stats.RNG) {
-			issue := func() {
-				req := gen.Sample(r)
-				d := c.DemandsFor(p, req)
-				srv.serve(d, func(latency float64) {
-					if measuring {
-						hist.Add(latency)
-						completed++
-					}
-					clientLoop(r)
-				})
-			}
-			if p.ThinkTimeSec > 0 {
-				sim.Schedule(des.Time(think.Sample(r)), issue)
-			} else {
-				issue()
-			}
-		}
-	} else {
-		qosBound := p.QoSLatencySec
-		memFrac := c.memSwapFraction()
-		var arrivals int64
-		clientLoop = func(r *stats.RNG) {
-			issue := func() {
-				req := gen.Sample(r)
-				d := c.DemandsFor(p, req)
-				finish := func(latency float64) {
-					if measuring {
-						hist.Add(latency)
-						completed++
-					}
-					violation := qosBound > 0 && latency > qosBound
-					rec.Count("requests", 1)
-					if violation {
-						rec.Count("qos_violations", 1)
-					}
-					rec.Observe("latency_sec", latency)
-					rec.Event("request", float64(sim.Now()),
-						obs.F("latency_sec", latency),
-						obs.FB("qos_violation", violation),
-						obs.FB("measured", measuring))
-					clientLoop(r)
-				}
-				if tracer.Sampled(arrivals) {
-					srv.serveTraced(d, tracer, arrivals, memFrac, finish)
-				} else {
-					srv.serve(d, finish)
-				}
-				arrivals++
-			}
-			if p.ThinkTimeSec > 0 {
-				sim.Schedule(des.Time(think.Sample(r)), issue)
-			} else {
-				issue()
-			}
-		}
-	}
-	for i := 0; i < nClients; i++ {
-		r := rng.Split()
-		// Stagger initial arrivals across one think time to avoid a
-		// synchronized thundering herd at t=0.
-		sim.Schedule(des.Time(rng.Float64()*(p.ThinkTimeSec+0.01)), func() { clientLoop(r) })
-	}
-
-	var probes *des.Probes
-	if recording {
-		probes = des.NewProbes(sim, rec, opt.probeInterval())
-		probes.Watch(srv.cpu, srv.disk, srv.net)
-		probes.OnTick = opt.OnProbeTick
-		probes.Start()
-	}
-
-	sim.Run(des.Time(opt.WarmupSec))
-	measuring = true
-	srv.cpu.ResetWindow()
-	srv.disk.ResetWindow()
-	srv.net.ResetWindow()
-	sim.Run(des.Time(opt.WarmupSec + opt.MeasureSec))
-	if recording {
-		probes.Stop()
-		// Requests still in flight at the horizon leave their root spans
-		// open; export them truncated rather than dropping them.
-		tracer.FlushOpen(float64(sim.Now()))
-		rec.Count("des.events", int64(sim.Fired()))
-		rec.Count("trial.clients", int64(nClients))
-	}
-
-	out := trialOutcome{
-		throughput:  float64(completed) / opt.MeasureSec,
-		meanLatency: hist.Mean(),
-		p95Latency:  hist.Quantile(p.QoSPercentile),
-		utilization: map[string]float64{
-			"cpu":  srv.cpu.Utilization(),
-			"disk": srv.disk.Utilization(),
-			"net":  srv.net.Utilization(),
-		},
-	}
-	if p.QoSLatencySec > 0 {
-		out.qosMet = out.p95Latency <= p.QoSLatencySec && hist.Count() > 0
-	} else {
-		out.qosMet = true
-	}
-	return out
 }
 
 // Simulate measures the configuration's sustained performance on the
@@ -329,11 +164,70 @@ func (c Config) Simulate(gen workload.Generator, opt SimOptions) (Result, error)
 	return c.simulateInteractive(gen, p, opt)
 }
 
+// rampCell is one speculative trial of the exponential ramp: the client
+// count, the seed the sequential search would have used for it, and the
+// outcome once run.
+type rampCell struct {
+	n    int
+	seed uint64
+	out  trialOutcome
+}
+
+// parallelRamp runs the exponential ramp's candidate client counts
+// (1, 2, 4, ... <= MaxClients) speculatively across par workers, in
+// waves, each candidate with the seed the sequential ramp would have
+// given it (Seed+1, Seed+2, ...). Results are consumed strictly in
+// candidate order and everything after the first QoS failure is
+// discarded, so the returned prefix of good outcomes, the bracket, and
+// the final seed-counter position are exactly what the sequential ramp
+// produces. Trials never record, and each worker owns a private
+// trialCtx, so the only shared state is the generator — which the
+// caller has verified is stateless.
+func (c Config) parallelRamp(gen workload.Generator, p workload.Profile, opt SimOptions, par int) (good []rampCell, lastGood, firstBad int, seed uint64) {
+	var cells []rampCell
+	for n := 1; n <= opt.MaxClients; n *= 2 {
+		cells = append(cells, rampCell{n: n, seed: opt.Seed + uint64(len(cells)) + 1})
+	}
+	ctxs := make([]*trialCtx, par)
+	for w := range ctxs {
+		ctxs[w] = newTrialCtx(c)
+	}
+
+	seed = opt.Seed
+	for lo := 0; lo < len(cells); lo += par {
+		hi := lo + par
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		var wg sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cell := &cells[i]
+				cell.out = ctxs[i-lo].run(gen, p, cell.n, opt, cell.seed, nil)
+			}(i)
+		}
+		wg.Wait()
+		for i := lo; i < hi; i++ {
+			seed = cells[i].seed
+			if !cells[i].out.qosMet {
+				firstBad = cells[i].n
+				return good, lastGood, firstBad, seed
+			}
+			good = append(good, cells[i])
+			lastGood = cells[i].n
+		}
+	}
+	return good, lastGood, 0, seed
+}
+
 func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	ctx := newTrialCtx(c)
 	seed := opt.Seed
 	trial := func(n int) (trialOutcome, uint64) {
 		seed++
-		return c.runTrial(gen, p, n, opt, seed, nil), seed
+		return ctx.run(gen, p, n, opt, seed, nil), seed
 	}
 
 	best := trialOutcome{}
@@ -352,22 +246,31 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	// the reported numbers.
 	replay := func(n int, s uint64) {
 		if obs.On(opt.Obs) {
-			c.runTrial(gen, p, n, opt, s, opt.Obs)
+			ctx.run(gen, p, n, opt, s, opt.Obs)
 		}
 	}
 
-	// Exponential ramp.
-	n := 1
+	// Exponential ramp: speculative-parallel when allowed, else
+	// sequential. Both produce the same bracket, best-candidate
+	// bookkeeping, and seed-counter position.
 	lastGood, firstBad := 0, 0
-	for n <= opt.MaxClients {
-		t, s := trial(n)
-		if t.qosMet {
-			record(n, t, s)
-			lastGood = n
-			n *= 2
-		} else {
-			firstBad = n
-			break
+	if par := opt.parallelism(); par > 1 && workload.IsStateless(gen) {
+		var good []rampCell
+		good, lastGood, firstBad, seed = c.parallelRamp(gen, p, opt, par)
+		for _, g := range good {
+			record(g.n, g.out, g.seed)
+		}
+	} else {
+		for n := 1; n <= opt.MaxClients; {
+			t, s := trial(n)
+			if t.qosMet {
+				record(n, t, s)
+				lastGood = n
+				n *= 2
+			} else {
+				firstBad = n
+				break
+			}
 		}
 	}
 	if lastGood == 0 {
@@ -390,7 +293,8 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 		firstBad = opt.MaxClients + 1
 	}
 
-	// Binary search between lastGood and firstBad.
+	// Binary search between lastGood and firstBad. Each probe depends on
+	// the previous outcome, so this stays sequential at any Parallelism.
 	lo, hi := lastGood, firstBad
 	for hi-lo > maxInt(1, lo/50) {
 		mid := (lo + hi) / 2
@@ -416,105 +320,137 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	}, nil
 }
 
+// batchRun drives one batch job: a fixed set of task slots, each
+// re-launching itself on completion until JobRequests tasks are done.
+// Like the interactive trial engine (see trial.go), all per-task state
+// lives in reused records so the steady-state task loop allocates
+// nothing.
+type batchRun struct {
+	sim *des.Sim
+	srv *simServer
+	rng stats.RNG
+	gen workload.Generator
+	dm  demandModel
+
+	remaining int
+	done      int
+	total     int
+	finish    des.Time
+
+	rec       obs.Recorder
+	recording bool
+	tracer    *span.Tracer
+	memFrac   float64
+	arrivals  int64
+	evFields  [3]obs.Field
+}
+
+type batchTask struct {
+	b    *batchRun
+	flow reqFlow
+}
+
+func (t *batchTask) launch() {
+	b := t.b
+	if b.remaining == 0 {
+		return
+	}
+	b.remaining--
+	req := b.gen.Sample(&b.rng)
+	d := b.dm.For(req)
+	if !b.recording {
+		t.flow.serve(d)
+		return
+	}
+	if b.tracer.Sampled(b.arrivals) {
+		t.flow.serveTraced(d, b.tracer, b.arrivals, b.memFrac)
+	} else {
+		t.flow.serve(d)
+	}
+	b.arrivals++
+}
+
+func (t *batchTask) finished(latency float64) {
+	b := t.b
+	if b.recording {
+		b.rec.Count("requests", 1)
+		b.rec.Observe("latency_sec", latency)
+		b.evFields[0] = obs.F("latency_sec", latency)
+		b.evFields[1] = obs.FB("qos_violation", false)
+		b.evFields[2] = obs.FB("measured", true)
+		b.rec.Event("request", float64(b.sim.Now()), b.evFields[:]...)
+	}
+	b.done++
+	if b.done == b.total {
+		b.finish = b.sim.Now()
+		b.sim.Stop()
+		return
+	}
+	t.launch()
+}
+
 func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
-	sim := des.NewSim()
-	srv := c.newSimServer(sim)
-	rng := stats.NewRNG(opt.Seed)
+	b := &batchRun{}
+	b.sim = des.NewSim()
+	b.srv = c.newSimServer(b.sim)
+	b.rng.Seed(opt.Seed)
 
 	// Batch runs execute exactly once, so they are instrumented inline
 	// (recording observes without perturbing the trajectory).
 	rec := opt.Obs
-	recording := obs.On(rec)
-	if recording {
-		gen = workload.Instrument(gen, rec)
+	b.rec = rec
+	b.recording = obs.On(rec)
+	b.gen = gen
+	if b.recording {
+		b.gen = workload.Instrument(gen, rec)
 	}
-	var tracer *span.Tracer
-	if recording && opt.TraceEvery > 0 {
-		tracer = span.NewTracer(rec, opt.TraceEvery)
+	if b.recording && opt.TraceEvery > 0 {
+		b.tracer = span.NewTracer(rec, opt.TraceEvery)
 	}
-	memFrac := c.memSwapFraction()
+	b.memFrac = c.memSwapFraction()
+	b.dm = c.demandModelFor(p)
+	b.remaining = p.JobRequests
+	b.total = p.JobRequests
 
 	concurrency := opt.BatchConcurrency
 	if concurrency <= 0 {
 		concurrency = 4 * c.Server.CPU.Cores() // Hadoop's 4 threads/CPU
 	}
 
-	remaining := p.JobRequests
-	done := 0
-	var finish des.Time
-
-	var launch func()
-	finishTask := func() {
-		done++
-		if done == p.JobRequests {
-			finish = sim.Now()
-			sim.Stop()
-			return
-		}
-		launch()
-	}
-	var arrivals int64
-	launch = func() {
-		if remaining == 0 {
-			return
-		}
-		remaining--
-		req := gen.Sample(rng)
-		d := c.DemandsFor(p, req)
-		if !recording {
-			srv.serve(d, func(float64) { finishTask() })
-			return
-		}
-		start := sim.Now()
-		finish := func(float64) {
-			latency := float64(sim.Now() - start)
-			rec.Count("requests", 1)
-			rec.Observe("latency_sec", latency)
-			rec.Event("request", float64(sim.Now()),
-				obs.F("latency_sec", latency),
-				obs.FB("qos_violation", false),
-				obs.FB("measured", true))
-			finishTask()
-		}
-		if tracer.Sampled(arrivals) {
-			srv.serveTraced(d, tracer, arrivals, memFrac, finish)
-		} else {
-			srv.serve(d, finish)
-		}
-		arrivals++
-	}
 	var probes *des.Probes
-	if recording {
-		probes = des.NewProbes(sim, rec, opt.probeInterval())
-		probes.Watch(srv.cpu, srv.disk, srv.net)
+	if b.recording {
+		probes = des.NewProbes(b.sim, rec, opt.probeInterval())
+		probes.Watch(b.srv.cpu, b.srv.disk, b.srv.net)
 		probes.OnTick = opt.OnProbeTick
 		probes.Start()
 	}
 	for i := 0; i < concurrency && i < p.JobRequests; i++ {
-		launch()
+		t := &batchTask{b: b}
+		t.flow.init(b.srv, t.finished)
+		t.launch()
 	}
-	sim.Run(des.Time(math.MaxFloat64))
-	if recording {
+	b.sim.Run(des.Time(math.MaxFloat64))
+	if b.recording {
 		probes.Stop()
-		tracer.FlushOpen(float64(sim.Now()))
-		rec.Count("des.events", int64(sim.Fired()))
+		b.tracer.FlushOpen(float64(b.sim.Now()))
+		rec.Count("des.events", int64(b.sim.Fired()))
 		rec.Count("trial.clients", int64(concurrency))
 	}
-	if done != p.JobRequests {
-		return Result{}, fmt.Errorf("cluster: batch job stalled at %d/%d tasks", done, p.JobRequests)
+	if b.done != p.JobRequests {
+		return Result{}, fmt.Errorf("cluster: batch job stalled at %d/%d tasks", b.done, p.JobRequests)
 	}
 
-	exec := float64(finish)
+	exec := float64(b.finish)
 	return Result{
 		Throughput: float64(p.JobRequests) / exec,
 		Perf:       1 / exec,
 		QoSMet:     true,
 		ExecTime:   exec,
 		Bottleneck: bottleneckOf(map[string]float64{
-			"cpu": srv.cpu.Utilization(), "disk": srv.disk.Utilization(), "net": srv.net.Utilization(),
+			"cpu": b.srv.cpu.Utilization(), "disk": b.srv.disk.Utilization(), "net": b.srv.net.Utilization(),
 		}),
 		Utilization: map[string]float64{
-			"cpu": srv.cpu.Utilization(), "disk": srv.disk.Utilization(), "net": srv.net.Utilization(),
+			"cpu": b.srv.cpu.Utilization(), "disk": b.srv.disk.Utilization(), "net": b.srv.net.Utilization(),
 		},
 		Clients: concurrency,
 	}, nil

@@ -12,6 +12,13 @@
 // schedules the follow-on events. This avoids goroutine-per-entity
 // simulation, keeps runs single-threaded and reproducible, and lets the
 // benchmark harness simulate hundreds of server-years per wall second.
+//
+// Event records are pooled: once an event fires (or is cancelled) its
+// struct returns to a per-Sim free list and the next Schedule reuses it,
+// so steady-state scheduling allocates nothing. Pooling is invisible to
+// models — handles are generation-stamped, so a stale EventHandle held
+// across a recycle is a safe no-op — and changes neither firing order
+// nor the seq tie-break stream (see DESIGN.md §7 for the invariants).
 package des
 
 import (
@@ -30,19 +37,30 @@ type event struct {
 	at   Time
 	seq  uint64 // FIFO tie-break for simultaneous events
 	act  Action
-	heap int // index within the heap, managed by eventHeap
-	dead bool
+	heap int    // index within the heap; -1 once popped or recycled
+	gen  uint32 // bumped on recycle so stale handles can't touch reused slots
 }
 
-// EventHandle allows a scheduled event to be cancelled.
-type EventHandle struct{ ev *event }
+// EventHandle allows a scheduled event to be cancelled. The zero value
+// is valid and cancels nothing.
+type EventHandle struct {
+	s   *Sim
+	ev  *event
+	gen uint32
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes the event from the queue immediately (O(log n) via its
+// tracked heap index) and recycles its record. Cancelling an
+// already-fired, already-cancelled, or zero handle is a no-op: the
+// generation stamp protects against the underlying record having been
+// reused for a later event.
 func (h EventHandle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.heap < 0 {
+		return
 	}
+	heap.Remove(&h.s.events, ev.heap)
+	h.s.recycle(ev)
 }
 
 type eventHeap []*event
@@ -70,6 +88,7 @@ func (h *eventHeap) Pop() any {
 	ev := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
+	ev.heap = -1
 	return ev
 }
 
@@ -81,6 +100,7 @@ type Sim struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	pool    []*event // recycled event records, ready for reuse
 }
 
 // NewSim returns a simulator positioned at time zero.
@@ -94,6 +114,16 @@ func (s *Sim) Now() Time { return s.now }
 // Fired returns the number of events executed so far (for tests and
 // runaway detection).
 func (s *Sim) Fired() uint64 { return s.fired }
+
+// recycle returns an event record to the free list. The action is
+// dropped so the pool never retains model closures, and the generation
+// is bumped so outstanding handles to the old event become inert.
+func (s *Sim) recycle(ev *event) {
+	ev.act = nil
+	ev.heap = -1
+	ev.gen++
+	s.pool = append(s.pool, ev)
+}
 
 // Schedule runs act after delay (>= 0) of simulated time and returns a
 // handle for cancellation. It panics on negative or NaN delays: those are
@@ -110,10 +140,18 @@ func (s *Sim) ScheduleAt(at Time, act Action) EventHandle {
 	if at < s.now {
 		panic(fmt.Sprintf("des: event scheduled in the past: %v < now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, act: act}
+	var ev *event
+	if n := len(s.pool); n > 0 {
+		ev = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.act = at, s.seq, act
 	s.seq++
 	heap.Push(&s.events, ev)
-	return EventHandle{ev}
+	return EventHandle{s: s, ev: ev, gen: ev.gen}
 }
 
 // Stop halts Run after the current event completes.
@@ -132,12 +170,11 @@ func (s *Sim) Run(until Time) Time {
 			return s.now
 		}
 		heap.Pop(&s.events)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
+		at, act := ev.at, ev.act
+		s.recycle(ev)
+		s.now = at
 		s.fired++
-		ev.act()
+		act()
 	}
 	if s.now < until && len(s.events) == 0 {
 		s.now = until
@@ -145,6 +182,21 @@ func (s *Sim) Run(until Time) Time {
 	return s.now
 }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet drained).
+// Pending returns the number of events still queued. Cancelled events
+// are removed eagerly, so they never count here.
 func (s *Sim) Pending() int { return len(s.events) }
+
+// Reset rewinds the simulator to time zero for reuse: pending events are
+// recycled, the clock, sequence counter and fired count restart, and the
+// heap backing array and event pool are retained — so a sequence of
+// trials on one Sim allocates event records only up to the high-water
+// mark of in-flight events.
+func (s *Sim) Reset() {
+	for i, ev := range s.events {
+		s.recycle(ev)
+		s.events[i] = nil
+	}
+	s.events = s.events[:0]
+	s.now, s.seq, s.fired = 0, 0, 0
+	s.stopped = false
+}

@@ -28,12 +28,48 @@ type Resource struct {
 	completed     uint64
 	totalService  float64
 	windowStart   Time
+
+	// pool of completion records: one is checked out per in-service job
+	// and returned when the job's completion event fires, so steady-state
+	// Submit traffic schedules without allocating a closure per job.
+	pool []*completion
 }
 
 type pendingJob struct {
 	service Time
 	done    Action
 	arrived Time
+}
+
+// completion carries one in-service job's completion callback. The act
+// method value is bound once when the record is first created; pooling
+// the record therefore pools the closure too.
+type completion struct {
+	r    *Resource
+	done Action
+	act  Action
+}
+
+func (c *completion) fire() {
+	r := c.r
+	done := c.done
+	c.done = nil
+	r.pool = append(r.pool, c)
+	r.stamp()
+	r.busy--
+	r.completed++
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		// Shift; queues are short in steady state so O(n) is fine,
+		// and copying avoids retaining the backing array's head.
+		copy(r.queue, r.queue[1:])
+		r.queue[len(r.queue)-1] = pendingJob{}
+		r.queue = r.queue[:len(r.queue)-1]
+		r.start(next.service, next.done)
+	}
+	if done != nil {
+		done()
+	}
 }
 
 // NewResource creates a resource with the given number of servers
@@ -81,22 +117,17 @@ func (r *Resource) Submit(service Time, done Action) {
 func (r *Resource) start(service Time, done Action) {
 	r.busy++
 	r.totalService += float64(service)
-	r.sim.Schedule(service, func() {
-		r.stamp()
-		r.busy--
-		r.completed++
-		if len(r.queue) > 0 {
-			next := r.queue[0]
-			// Shift; queues are short in steady state so O(n) is fine,
-			// and copying avoids retaining the backing array's head.
-			copy(r.queue, r.queue[1:])
-			r.queue = r.queue[:len(r.queue)-1]
-			r.start(next.service, next.done)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	var c *completion
+	if n := len(r.pool); n > 0 {
+		c = r.pool[n-1]
+		r.pool[n-1] = nil
+		r.pool = r.pool[:n-1]
+	} else {
+		c = &completion{r: r}
+		c.act = c.fire
+	}
+	c.done = done
+	r.sim.Schedule(service, c.act)
 }
 
 // InService returns the number of currently busy servers.
@@ -149,4 +180,21 @@ func (r *Resource) ResetWindow() {
 	r.queueIntegral = 0
 	r.completed = 0
 	r.totalService = 0
+}
+
+// Reset returns the resource to its initial idle state for reuse after
+// Sim.Reset: no busy servers, an empty queue, and zeroed accounting.
+// The queue backing array and the completion-record pool are retained.
+// Completion records checked out by jobs that were in flight when the
+// kernel was reset are abandoned to the garbage collector; the pool
+// refills lazily.
+func (r *Resource) Reset() {
+	for i := range r.queue {
+		r.queue[i] = pendingJob{}
+	}
+	r.queue = r.queue[:0]
+	r.busy = 0
+	r.lastStamp, r.windowStart = 0, 0
+	r.busyIntegral, r.queueIntegral = 0, 0
+	r.completed, r.totalService = 0, 0
 }

@@ -130,6 +130,7 @@ type Sim struct {
 	rec         obs.Recorder
 	sampleEvery int64
 	tracer      *span.Tracer
+	evBuf       [2]obs.Field // swap-event scratch; valid only during Event (Recorder contract)
 }
 
 // New builds a simulator with cold (empty) local memory.
@@ -245,8 +246,9 @@ func (s *Sim) observe(page int64, write, hit bool) {
 	s.rec.Count("memblade.accesses", 1)
 	if !hit {
 		s.rec.Count("memblade.misses", 1)
-		s.rec.Event("memblade.swap", float64(s.stats.Accesses),
-			obs.F("page", float64(page)), obs.FB("write", write))
+		s.evBuf[0] = obs.F("page", float64(page))
+		s.evBuf[1] = obs.FB("write", write)
+		s.rec.Event("memblade.swap", float64(s.stats.Accesses), s.evBuf[:]...)
 	}
 	if s.stats.Accesses%s.sampleEvery == 0 {
 		hits := s.stats.Accesses - s.stats.Misses

@@ -104,7 +104,7 @@ func (s *Sink) WriteJSONL(w io.Writer) error {
 			}
 		}
 	}
-	for _, e := range s.events {
+	for _, e := range s.Events() {
 		rec := jsonlEvent{Type: "event", Stream: e.Stream, T: e.T}
 		if len(e.Fields) > 0 {
 			rec.Fields = make(map[string]any, len(e.Fields))
@@ -166,7 +166,7 @@ func (s *Sink) WriteCSV(w io.Writer) error {
 			write("sample", name, fnum(p.T), fnum(p.V), "")
 		}
 	}
-	for _, e := range s.events {
+	for _, e := range s.Events() {
 		write("event", e.Stream, fnum(e.T), "", packFields(e.Fields))
 	}
 	cw.Flush()

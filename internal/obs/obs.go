@@ -34,6 +34,10 @@ type Recorder interface {
 	// Observe adds one observation to the named histogram.
 	Observe(name string, v float64)
 	// Event appends a structured record at time t to the named stream.
+	// The fields slice is only valid for the duration of the call: hot
+	// paths pass a reused scratch buffer, so an implementation that
+	// retains fields past the call must copy them (Sink copies into an
+	// internal arena).
 	Event(stream string, t float64, fields ...Field)
 }
 

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEventCopiesFields pins the Recorder contract: the fields slice is
+// only valid during the call, so the sink must copy. Emitters (span
+// tracer, cluster trial path) reuse scratch buffers across events.
+func TestEventCopiesFields(t *testing.T) {
+	s := NewSink()
+	scratch := make([]Field, 0, 4)
+	scratch = append(scratch, FS("id", "first"), F("v", 1))
+	s.Event("stream", 1, scratch...)
+	// Reuse the same backing array with different contents.
+	scratch = scratch[:0]
+	scratch = append(scratch, FS("id", "second"), F("v", 2))
+	s.Event("stream", 2, scratch...)
+
+	evs := s.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained %d events, want 2", len(evs))
+	}
+	if got := evs[0].Fields[0].Str; got != "first" {
+		t.Fatalf("first event's field mutated to %q — sink aliased the caller's buffer", got)
+	}
+	if got := evs[1].Fields[0].Str; got != "second" {
+		t.Fatalf("second event field = %q, want \"second\"", got)
+	}
+}
+
+func TestEventRingKeepsMostRecent(t *testing.T) {
+	s := NewSink()
+	s.SetEventRing(3)
+	for i := 1; i <= 5; i++ {
+		s.Event("w", float64(i), F("i", float64(i)))
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring retained %d events, want 3", len(evs))
+	}
+	for k, want := range []float64{3, 4, 5} {
+		if evs[k].T != want {
+			t.Fatalf("ring order: event %d at t=%g, want %g (oldest-first)", k, evs[k].T, want)
+		}
+	}
+	if got := s.DroppedEvents(); got != 2 {
+		t.Fatalf("DroppedEvents = %d, want 2 overwrites", got)
+	}
+	if got := s.EventCount("w"); got != 3 {
+		t.Fatalf("EventCount = %d, want 3", got)
+	}
+	// The snapshot must report retained (3), not total emitted.
+	snap, err := s.Snapshot(Progress{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+}
+
+func TestEventRingSlotReuseDoesNotCorrupt(t *testing.T) {
+	s := NewSink()
+	s.SetEventRing(2)
+	scratch := make([]Field, 0, 2)
+	for i := 0; i < 10; i++ {
+		scratch = append(scratch[:0], F("i", float64(i)))
+		s.Event("w", float64(i), scratch...)
+	}
+	want := []EventRecord{
+		{Stream: "w", T: 8, Fields: []Field{F("i", 8)}},
+		{Stream: "w", T: 9, Fields: []Field{F("i", 9)}},
+	}
+	got := s.Events()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring contents %+v, want %+v", got, want)
+	}
+}
+
+func TestSetEventRingAfterRecordPanics(t *testing.T) {
+	s := NewSink()
+	s.Event("w", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetEventRing after recording did not panic")
+		}
+	}()
+	s.SetEventRing(4)
+}
+
+func TestSetEventRingDisable(t *testing.T) {
+	s := NewSink()
+	s.SetEventRing(3)
+	s.SetEventRing(0) // back to append mode before any events
+	for i := 0; i < 5; i++ {
+		s.Event("w", float64(i))
+	}
+	if got := len(s.Events()); got != 5 {
+		t.Fatalf("append mode after SetEventRing(0) retained %d, want 5", got)
+	}
+	if got := s.DroppedEvents(); got != 0 {
+		t.Fatalf("DroppedEvents = %d, want 0", got)
+	}
+}
+
+// TestEventArenaDoesNotAlias crosses a chunk boundary and verifies no
+// record's fields were overwritten by later appends.
+func TestEventArenaDoesNotAlias(t *testing.T) {
+	s := NewSink()
+	const n = 3000 // 3000 * 2 fields > fieldArenaChunk
+	for i := 0; i < n; i++ {
+		s.Event("w", float64(i), F("i", float64(i)), F("j", float64(2*i)))
+	}
+	evs := s.Events()
+	if len(evs) != n {
+		t.Fatalf("retained %d events, want %d", len(evs), n)
+	}
+	for i, e := range evs {
+		if e.Fields[0].Num != float64(i) || e.Fields[1].Num != float64(2*i) {
+			t.Fatalf("event %d fields corrupted: %+v", i, e.Fields)
+		}
+	}
+}

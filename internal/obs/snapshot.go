@@ -56,7 +56,7 @@ func (s *Sink) Snapshot(p Progress) ([]byte, error) {
 	doc := snapshotDoc{
 		Progress: p,
 		Manifest: s.manifest,
-		Events:   eventSnapshot{Retained: len(s.events), Dropped: s.dropped},
+		Events:   eventSnapshot{Retained: s.retainedEvents(), Dropped: s.dropped},
 	}
 	if len(s.counters) > 0 {
 		doc.Counters = make(map[string]int64, len(s.counters))

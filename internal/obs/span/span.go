@@ -80,6 +80,11 @@ type Tracer struct {
 	every  int64
 	nextID int64
 	open   map[int64]Span
+
+	// buf is the emit scratch buffer: span fields are assembled here and
+	// handed to the Recorder, which must not retain them (see
+	// obs.Recorder) — so steady-state emission allocates nothing.
+	buf [7]obs.Field
 }
 
 // NewTracer returns a tracer emitting into rec, keeping every Nth
@@ -190,17 +195,14 @@ func (t *Tracer) FlushOpen(horizon float64) {
 // fixed (id, parent, req, kind, res, dur, open) so Decode and the
 // exporters see a stable layout.
 func (t *Tracer) emit(s Span) {
-	if s.Open {
-		t.rec.Event(Stream, s.Start,
-			obs.F("id", float64(s.ID)), obs.F("parent", float64(s.Parent)),
-			obs.F("req", float64(s.Req)), obs.FS("kind", s.Kind), obs.FS("res", s.Res),
-			obs.F("dur", s.Dur), obs.FB("open", true))
-		return
-	}
-	t.rec.Event(Stream, s.Start,
+	b := append(t.buf[:0],
 		obs.F("id", float64(s.ID)), obs.F("parent", float64(s.Parent)),
 		obs.F("req", float64(s.Req)), obs.FS("kind", s.Kind), obs.FS("res", s.Res),
 		obs.F("dur", s.Dur))
+	if s.Open {
+		b = append(b, obs.FB("open", true))
+	}
+	t.rec.Event(Stream, s.Start, b...)
 }
 
 func clampDur(start, end float64) float64 {

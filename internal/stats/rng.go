@@ -62,6 +62,20 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// SweepSeed derives the seed for cell index i of a parameter sweep from
+// the sweep's base seed: the index is spread by the golden-ratio
+// constant, xor-folded into the base, and splitmix-mixed (via Seed), so
+// cells get decorrelated streams while any (base, i) pair reproduces the
+// same seed forever — the contract the deterministic parallel sweep
+// engine (experiments.RunCells) relies on when cells need their own
+// randomness. Deriving from position, not from a shared RNG, is what
+// makes cell seeds independent of execution order.
+func SweepSeed(base, i uint64) uint64 {
+	var r RNG
+	r.Seed(base ^ (i+1)*0x9e3779b97f4a7c15)
+	return r.Uint64()
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	// 53 high-quality bits -> [0,1) with full float53 resolution.

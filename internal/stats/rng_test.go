@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -184,5 +185,24 @@ func TestBoolProbability(t *testing.T) {
 	frac := float64(hits) / n
 	if math.Abs(frac-0.3) > 0.01 {
 		t.Errorf("Bool(0.3) hit rate = %g", frac)
+	}
+}
+
+func TestSweepSeedDeterministicAndDistinct(t *testing.T) {
+	if SweepSeed(7, 3) != SweepSeed(7, 3) {
+		t.Fatal("SweepSeed is not deterministic")
+	}
+	// Distinct across cell indices for a fixed base, and across bases
+	// for a fixed index — sweep cells must not share RNG streams.
+	seen := map[uint64]string{}
+	for base := uint64(1); base <= 4; base++ {
+		for i := uint64(0); i < 64; i++ {
+			s := SweepSeed(base, i)
+			key := fmt.Sprintf("base=%d i=%d", base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SweepSeed collision: %s and %s both -> %d", prev, key, s)
+			}
+			seen[s] = key
+		}
 	}
 }

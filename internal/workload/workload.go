@@ -168,6 +168,23 @@ type Generator interface {
 	Sample(r *stats.RNG) Request
 }
 
+// StatelessGenerator marks generators whose Sample depends only on the
+// RNG passed in — no internal mutable state — so one instance may serve
+// concurrent single-threaded trials, each with its own RNG. The engine
+// generators (websearch query caches, webmail session queues) are
+// deliberately stateful and must NOT claim this.
+type StatelessGenerator interface {
+	Generator
+	// Stateless is a marker method; implementations leave it empty.
+	Stateless()
+}
+
+// IsStateless reports whether gen advertises stateless sampling.
+func IsStateless(gen Generator) bool {
+	_, ok := gen.(StatelessGenerator)
+	return ok
+}
+
 // FixedGenerator adapts a bare Profile into a Generator whose samples
 // are exponentially distributed around the profile means — used in tests
 // and by the calibration tool, where no engine is needed.
@@ -179,6 +196,10 @@ type FixedGenerator struct {
 
 // Profile implements Generator.
 func (g FixedGenerator) Profile() Profile { return g.P }
+
+// Stateless implements StatelessGenerator: every sample depends only on
+// the passed RNG.
+func (FixedGenerator) Stateless() {}
 
 // Sample implements Generator.
 func (g FixedGenerator) Sample(r *stats.RNG) Request {

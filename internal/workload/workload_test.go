@@ -115,3 +115,21 @@ func TestFixedGeneratorMeansConverge(t *testing.T) {
 		t.Errorf("sampled CPU mean %g, profile %g", m, p.CPURefSec)
 	}
 }
+
+func TestIsStateless(t *testing.T) {
+	if !IsStateless(FixedGenerator{P: validProfile()}) {
+		t.Error("FixedGenerator must carry the stateless marker")
+	}
+	if IsStateless(statefulTestGen{}) {
+		t.Error("a generator without the marker must not report stateless")
+	}
+	if IsStateless(nil) {
+		t.Error("nil generator must not report stateless")
+	}
+}
+
+// statefulTestGen deliberately lacks the Stateless marker method.
+type statefulTestGen struct{}
+
+func (statefulTestGen) Profile() Profile            { return validProfile() }
+func (statefulTestGen) Sample(r *stats.RNG) Request { return Request{} }
