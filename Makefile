@@ -1,21 +1,24 @@
 # Tier-1 gate for warehousesim (documented in ROADMAP.md).
 #
-#   make check   — everything CI runs: vet, build, race tests, gofmt
+#   make check   — everything CI runs: vet, build, race tests, gofmt,
+#                  shard-equivalence (sharded kernel must reproduce the
+#                  single-heap export byte-for-byte)
 #   make test    — plain tests (the seed tier-1 command)
 #   make bench   — benchmark harness with allocation reporting
 #   make bench-json — machine-readable micro-bench record (BENCH_$(N).json)
 #   make bench-diff — regression-gate BENCH_NEW against BENCH_OLD
 #                     (non-zero exit when ns/op regresses past the
 #                     tolerance or B/op / allocs/op grow at all)
+#   make shard-diff — the shard-equivalence gate on its own
 
 GO ?= go
-N ?= 2
-BENCH_OLD ?= BENCH_2.json
-BENCH_NEW ?= BENCH_3.json
+N ?= 4
+BENCH_OLD ?= BENCH_3.json
+BENCH_NEW ?= BENCH_4.json
 
-.PHONY: check vet build test test-race fmt bench bench-json bench-diff
+.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff
 
-check: vet build test-race fmt
+check: vet build test-race fmt shard-diff
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +35,27 @@ test-race:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Shard-equivalence: a whsim DES run on the sharded kernel must export
+# the same observability record at every shard count. The manifest
+# (line 1) records the configured shard count, so the gate compares the
+# export bodies — every counter, histogram, series sample and event —
+# byte-for-byte.
+shard-diff:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/whsim" ./cmd/whsim && \
+	"$$tmp/whsim" -system emb1 -workload websearch -des -measure 20 \
+		-shards 1 -enclosures 4 -boards 2 -obs-out "$$tmp/s1.jsonl" >/dev/null && \
+	"$$tmp/whsim" -system emb1 -workload websearch -des -measure 20 \
+		-shards 4 -enclosures 4 -boards 2 -obs-out "$$tmp/s4.jsonl" >/dev/null && \
+	tail -n +2 "$$tmp/s1.jsonl" > "$$tmp/s1.body" && \
+	tail -n +2 "$$tmp/s4.jsonl" > "$$tmp/s4.body" && \
+	if cmp -s "$$tmp/s1.body" "$$tmp/s4.body"; then \
+		echo "shard-diff: shards=1 and shards=4 exports are byte-identical"; \
+	else \
+		echo "shard-diff: exports DIVERGED between shards=1 and shards=4:"; \
+		cmp "$$tmp/s1.body" "$$tmp/s4.body"; exit 1; \
 	fi
 
 bench:

@@ -27,7 +27,7 @@ func regressions(lines []benchDiffLine) int {
 func TestDiffBenchDocsOK(t *testing.T) {
 	oldDoc := doc(rec("a", 100, 1000, 10), rec("b", 50, 0, 0))
 	newDoc := doc(rec("a", 105, 900, 8), rec("b", 54, 0, 0)) // ns within 10%, fewer allocs
-	lines := diffBenchDocs(oldDoc, newDoc, 0.10)
+	lines := diffBenchDocs(oldDoc, newDoc, 0.10, true)
 	if got := regressions(lines); got != 0 {
 		t.Fatalf("%d regressions, want 0: %+v", got, lines)
 	}
@@ -35,31 +35,73 @@ func TestDiffBenchDocsOK(t *testing.T) {
 
 func TestDiffBenchDocsNsTolerance(t *testing.T) {
 	oldDoc := doc(rec("a", 100, 0, 0))
-	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 125, 0, 0)), 0.10)); got != 1 {
+	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 125, 0, 0)), 0.10, true)); got != 1 {
 		t.Fatalf("ns/op +25%% past 10%% tolerance: %d regressions, want 1", got)
 	}
-	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 125, 0, 0)), 0.30)); got != 0 {
+	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 125, 0, 0)), 0.30, true)); got != 0 {
 		t.Fatalf("ns/op +25%% within 30%% tolerance: %d regressions, want 0", got)
 	}
 }
 
-func TestDiffBenchDocsAllocRegressionHasNoTolerance(t *testing.T) {
-	oldDoc := doc(rec("a", 100, 1000, 10))
-	// ns/op improved, but a single extra byte per op is deterministic
-	// for a fixed seed — any increase regresses.
-	lines := diffBenchDocs(oldDoc, doc(rec("a", 90, 1001, 10)), 0.10)
+func TestDiffBenchDocsAllocRegression(t *testing.T) {
+	oldDoc := doc(rec("a", 100, 1000, 100))
+	// ns/op improved, but the per-op allocation figures grew past the
+	// amortization slack (max of ~1.5% or a small floor) — regression
+	// even on a faster run.
+	lines := diffBenchDocs(oldDoc, doc(rec("a", 90, 1040, 100)), 0.10, true)
 	if got := regressions(lines); got != 1 {
-		t.Fatalf("B/op +1: %d regressions, want 1", got)
+		t.Fatalf("B/op +40 past slack: %d regressions, want 1", got)
 	}
-	lines = diffBenchDocs(oldDoc, doc(rec("a", 90, 1000, 11)), 0.10)
+	lines = diffBenchDocs(oldDoc, doc(rec("a", 90, 1000, 103)), 0.10, true)
 	if got := regressions(lines); got != 1 {
-		t.Fatalf("allocs/op +1: %d regressions, want 1", got)
+		t.Fatalf("allocs/op +3 past slack: %d regressions, want 1", got)
+	}
+	// Within the slack: setup-cost amortization over a different b.N,
+	// not a code change.
+	lines = diffBenchDocs(oldDoc, doc(rec("a", 90, 1001, 101)), 0.10, true)
+	if got := regressions(lines); got != 0 {
+		t.Fatalf("B/op +1, allocs/op +1 within slack: %d regressions, want 0", got)
+	}
+}
+
+func TestDiffBenchDocsCrossMachine(t *testing.T) {
+	oldDoc := doc(rec("a", 100, 1000, 100))
+	// ns/op doubled but gateNs is off (different recording machines):
+	// reported, not a regression.
+	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 200, 1000, 100)), 0.10, false)); got != 0 {
+		t.Fatalf("cross-machine ns/op: %d regressions, want 0", got)
+	}
+	// Allocation figures gate on any machine.
+	if got := regressions(diffBenchDocs(oldDoc, doc(rec("a", 200, 2000, 100)), 0.10, false)); got != 1 {
+		t.Fatalf("cross-machine B/op doubled: %d regressions, want 1", got)
+	}
+}
+
+func TestSameMachine(t *testing.T) {
+	fp := func(model string, cpus int) benchDoc {
+		d := doc()
+		d.CPUModel, d.CPUs = model, cpus
+		return d
+	}
+	if !sameMachine(fp("cpu-x", 4), fp("cpu-x", 4)) {
+		t.Fatal("matching fingerprints not recognized")
+	}
+	if sameMachine(fp("cpu-x", 4), fp("cpu-y", 4)) {
+		t.Fatal("different models matched")
+	}
+	if sameMachine(fp("cpu-x", 4), fp("cpu-x", 8)) {
+		t.Fatal("different cpu counts matched")
+	}
+	// Records without a fingerprint (pre-cpu_model schema, non-Linux)
+	// never match: comparability must be proven, not assumed.
+	if sameMachine(fp("", 4), fp("", 4)) {
+		t.Fatal("fingerprintless records matched")
 	}
 }
 
 func TestDiffBenchDocsMissingBenchmark(t *testing.T) {
 	oldDoc := doc(rec("a", 100, 0, 0), rec("gone", 10, 0, 0))
-	lines := diffBenchDocs(oldDoc, doc(rec("a", 100, 0, 0)), 0.10)
+	lines := diffBenchDocs(oldDoc, doc(rec("a", 100, 0, 0)), 0.10, true)
 	if got := regressions(lines); got != 1 {
 		t.Fatalf("disappeared benchmark: %d regressions, want 1", got)
 	}
@@ -69,7 +111,7 @@ func TestDiffBenchDocsMissingBenchmark(t *testing.T) {
 		}
 	}
 	// A benchmark only in the new record is informational, not a diff line.
-	lines = diffBenchDocs(oldDoc, doc(rec("a", 100, 0, 0), rec("gone", 10, 0, 0), rec("new", 1, 0, 0)), 0.10)
+	lines = diffBenchDocs(oldDoc, doc(rec("a", 100, 0, 0), rec("gone", 10, 0, 0), rec("new", 1, 0, 0)), 0.10, true)
 	if got := regressions(lines); got != 0 {
 		t.Fatalf("new-only benchmark: %d regressions, want 0", got)
 	}

@@ -36,11 +36,23 @@ type benchRecord struct {
 // -bench-json. GitRev ties the record to a commit ("unknown" outside a
 // git checkout); Seed is the simulation seed every bench ran with.
 type benchDoc struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	GitRev     string        `json:"git_rev"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GitRev    string `json:"git_rev"`
+	// CPUs is runtime.NumCPU() on the recording machine. Parallel-kernel
+	// numbers (ShardedTrial*) only show wall-clock speedup when CPUs
+	// exceeds the shard count — a record taken on a one-CPU container
+	// honestly documents that its sharded rows measure synchronization
+	// overhead, not speedup.
+	CPUs int `json:"cpus"`
+	// CPUModel fingerprints the recording machine (the kernel's CPU
+	// model string; empty when unavailable). bench-diff gates ns/op only
+	// when old and new records carry the same fingerprint: identical
+	// code measures tens of percent apart across CPU generations, so a
+	// cross-machine ns/op delta is reported but is not a regression.
+	CPUModel   string        `json:"cpu_model,omitempty"`
 	Seed       uint64        `json:"seed"`
 	WallSec    float64       `json:"wall_sec"`
 	Benchmarks []benchRecord `json:"benchmarks"`
@@ -54,6 +66,22 @@ func gitRev() string {
 		return "unknown"
 	}
 	return strings.TrimSpace(string(out))
+}
+
+// cpuModel returns the kernel's CPU model string, or "" when the
+// platform does not expose one (non-Linux, restricted /proc).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // desTrial benchmarks one adaptive DES trial; mode selects how much
@@ -124,6 +152,30 @@ func membladeAccessTraced(seed uint64) func(*testing.B) {
 	}
 }
 
+// shardedTrial benchmarks one 64-board rack run (16 enclosures x 4
+// boards) on the sharded kernel at the given shard count. Results are
+// byte-identical at every shard count, so the shards=1 row is the
+// single-heap baseline and the shards=4 row shows what the conservative
+// synchronization costs (and, with >= 4 CPUs, what it buys).
+func shardedTrial(shards int, seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := cluster.Config{Server: platform.Desk()}
+		gen := workload.FixedGenerator{P: workload.WebsearchProfile()}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := cluster.SimOptions{
+				Seed: seed, WarmupSec: 2, MeasureSec: 10, MaxClients: 512,
+				Topology: &cluster.ShardedTopology{
+					Enclosures: 16, BoardsPerEnclosure: 4, Shards: shards,
+				},
+			}
+			if _, err := cfg.Simulate(gen, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func flashCacheOp(seed uint64) func(*testing.B) {
 	return func(b *testing.B) {
 		sim, err := flashcache.New(flashcache.DefaultConfig())
@@ -183,6 +235,8 @@ func writeBenchJSON(path string, seed uint64) error {
 		{"DESTrial", desTrial("plain", seed)},
 		{"DESTrialObs", desTrial("obs", seed)},
 		{"DESTrialTraced", desTrial("traced", seed)},
+		{"ShardedTrial", shardedTrial(1, seed)},
+		{"ShardedTrial4", shardedTrial(4, seed)},
 		{"MembladeAccess", membladeAccess(seed)},
 		{"MembladeAccessTraced", membladeAccessTraced(seed)},
 		{"FlashCacheOp", flashCacheOp(seed)},
@@ -195,6 +249,8 @@ func writeBenchJSON(path string, seed uint64) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		GitRev:    gitRev(),
+		CPUs:      runtime.NumCPU(),
+		CPUModel:  cpuModel(),
 		Seed:      seed,
 	}
 	start := time.Now()

@@ -19,8 +19,8 @@ import (
 	"time"
 
 	"warehousesim/experiments"
+	"warehousesim/internal/core/cliflags"
 	"warehousesim/internal/obs"
-	"warehousesim/internal/obs/introspect"
 )
 
 func main() {
@@ -28,23 +28,21 @@ func main() {
 	log.SetPrefix("whbench: ")
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	obsOn := flag.Bool("obs", false, "record registry-level observability streams")
-	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default bench.jsonl)")
+	obsFlags := cliflags.AddObs(flag.CommandLine, "registry-level observability streams", "bench.jsonl")
 	benchJSON := flag.String("bench-json", "", "run the substrate micro-benchmarks and write a warehousesim-bench/v1 JSON record here, then exit")
 	benchDiff := flag.Bool("bench-diff", false, "compare two bench-json records (args: old.json new.json) and exit non-zero on regression")
 	diffThreshold := flag.Float64("diff-threshold", 0.10, "relative ns/op regression tolerance for -bench-diff (B/op and allocs/op must not regress at all)")
-	par := flag.Int("par", runtime.NumCPU(), "worker goroutines for the experiment suite and its internal sweeps (1 = sequential; reports are identical at any value)")
-	httpAddr := flag.String("http", "", "serve live introspection (/obs snapshot with per-experiment progress, /debug/pprof) on this address, e.g. :6060")
+	parFlag := cliflags.AddPar(flag.CommandLine, runtime.NumCPU(),
+		"worker goroutines for the experiment suite and its internal sweeps (1 = sequential; reports are identical at any value)")
+	httpFlag := cliflags.AddHTTP(flag.CommandLine, "/obs snapshot with per-experiment progress")
 	seed := flag.Uint64("seed", 1, "simulation seed for -bench-json")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
-	if *obsOut != "" {
-		*obsOn = true
-	}
-	if *par < 1 {
-		log.Fatalf("-par must be >= 1, got %d", *par)
+	obsOn := obsFlags.Enabled()
+	par, err := parFlag.Value()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *benchDiff {
@@ -64,7 +62,7 @@ func main() {
 		return
 	}
 
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,30 +82,34 @@ func main() {
 
 	// Live /obs progress snapshots need a sink even when no export was
 	// requested — but only an explicit ask should write an obs file.
-	exportObs := *obsOn
-	var intro *introspect.Server
-	if *httpAddr != "" {
-		*obsOn = true
-		intro = introspect.New()
-		bound, _, err := intro.Serve(*httpAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
+	intro, bound, err := httpFlag.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if intro != nil {
 		log.Printf("introspection: serving http://%s (/obs, /debug/pprof) for the process lifetime", bound)
 	}
 
 	var sink *obs.Sink
-	var rec obs.Recorder
-	if *obsOn {
+	if obsOn || intro != nil {
 		sink = obs.NewSink()
-		rec = sink
 	}
 	start := time.Now()
 
-	// Per-experiment progress rides the introspection snapshot with the
-	// experiment id as the phase; the hook fires on the commit goroutine,
-	// so suite workers never touch the sink.
-	var onDone func(experiments.SuiteProgress)
+	// One RunSpec covers every call shape: -exp restricts the selection,
+	// -obs attaches the recorder, -par sizes the suite pool, and the
+	// introspection hook rides Progress. Per-experiment progress is
+	// published with the experiment id as the phase; the hook fires on
+	// the commit goroutine, so suite workers never touch the sink.
+	spec := experiments.RunSpec{Parallelism: par}
+	if sink != nil {
+		spec.Recorder = sink
+	}
+	runID := "all"
+	if *exp != "" {
+		runID = *exp
+		spec.IDs = []string{*exp}
+	}
 	if intro != nil {
 		pub := func(phase string, done, total int) {
 			if b, err := sink.Snapshot(obs.Progress{
@@ -116,39 +118,34 @@ func main() {
 				intro.Publish(b)
 			}
 		}
-		pub("start", 0, len(experiments.IDs()))
-		onDone = func(p experiments.SuiteProgress) { pub(p.ID, p.Done, p.Total) }
-		defer func() { pub("done", len(experiments.IDs()), len(experiments.IDs())) }()
+		total := len(experiments.IDs())
+		if *exp != "" {
+			total = 1
+		}
+		pub("start", 0, total)
+		spec.Progress = func(p experiments.SuiteProgress) { pub(p.ID, p.Done, p.Total) }
+		defer func() { pub("done", total, total) }()
 	}
 
-	experiments.SetSweepParallelism(*par)
-	runID := "all"
+	experiments.SetSweepParallelism(par)
+	reps, err := experiments.Execute(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *exp != "" {
-		runID = *exp
-		rep, err := experiments.RunWith(*exp, rec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(rep)
+		fmt.Print(reps[0])
 	} else {
-		reps, err := experiments.RunAllPar(rec, *par, onDone)
-		if err != nil {
-			log.Fatal(err)
-		}
 		for _, rep := range reps {
 			fmt.Println(rep)
 		}
 	}
 
-	if sink != nil && exportObs {
+	if sink != nil && obsOn {
 		man := obs.NewManifest("suite", runID, 0)
 		man.Config["experiments"] = fmt.Sprintf("%d", sink.CounterValue("experiments.runs"))
 		man.WallSec = time.Since(start).Seconds()
 		sink.SetManifest(man)
-		out := *obsOut
-		if out == "" {
-			out = "bench.jsonl"
-		}
+		out := obsFlags.Path()
 		if err := sink.WriteFile(out); err != nil {
 			log.Fatal(err)
 		}

@@ -14,7 +14,7 @@ import (
 	"log"
 
 	"warehousesim/internal/calib"
-	"warehousesim/internal/obs"
+	"warehousesim/internal/core/cliflags"
 )
 
 func main() {
@@ -25,11 +25,10 @@ func main() {
 	seed := flag.Uint64("seed", 20080621, "search seed")
 	only := flag.String("workload", "", "fit a single workload (default: all)")
 	evalOnly := flag.Bool("eval", false, "evaluate the frozen profiles instead of fitting")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,9 +15,9 @@ import (
 	"log"
 
 	"warehousesim/internal/core"
+	"warehousesim/internal/core/cliflags"
 	"warehousesim/internal/cost"
 	"warehousesim/internal/metrics"
-	"warehousesim/internal/obs"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/power"
 )
@@ -32,11 +32,10 @@ func main() {
 	k2 := flag.Float64("k2", 0.667, "cooling capital factor K2")
 	af := flag.Float64("af", power.DefaultActivityFactor, "activity factor (0.5-1.0)")
 	years := flag.Float64("years", 3, "depreciation cycle")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}

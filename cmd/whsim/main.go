@@ -23,9 +23,9 @@ import (
 
 	"warehousesim/internal/cluster"
 	"warehousesim/internal/core"
+	"warehousesim/internal/core/cliflags"
 	"warehousesim/internal/metrics"
 	"warehousesim/internal/obs"
-	"warehousesim/internal/obs/introspect"
 	"warehousesim/internal/obs/span"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/workload"
@@ -55,45 +55,42 @@ func main() {
 	wl := flag.String("workload", "websearch", "benchmark name")
 	useDES := flag.Bool("des", false, "run the discrete-event simulation instead of the analytic solver")
 	seed := flag.Uint64("seed", 1, "simulation seed (DES only)")
-	par := flag.Int("par", runtime.NumCPU(), "worker goroutines for speculative search trials (1 = sequential; results are identical at any value)")
+	parFlag := cliflags.AddPar(flag.CommandLine, runtime.NumCPU(),
+		"worker goroutines for speculative search trials (1 = sequential; results are identical at any value)")
 	measure := flag.Float64("measure", 120, "DES measurement window seconds")
-	obsOn := flag.Bool("obs", false, "record observability streams of the DES run (requires -des)")
-	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default run.jsonl)")
+	obsFlags := cliflags.AddObs(flag.CommandLine, "observability streams of the DES run (requires -des)", "run.jsonl")
 	probeInterval := flag.Float64("probe-interval", 1, "obs timeline sampling interval, simulated seconds")
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of the run's causal spans here (implies -obs)")
 	attrOut := flag.String("attr-out", "", "write the critical-path latency-attribution table as CSV here (implies -obs)")
 	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth request by arrival index (deterministic; 1 = all)")
-	httpAddr := flag.String("http", "", "serve live introspection (/obs snapshot, /debug/pprof) on this address, e.g. :6060")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	sharding := cliflags.AddSharding(flag.CommandLine)
+	httpFlag := cliflags.AddHTTP(flag.CommandLine, "/obs snapshot")
+	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
 	// Flag validation: fail on nonsense, warn on silently-dead flags.
 	if *measure <= 0 {
 		log.Fatalf("-measure must be positive, got %g", *measure)
 	}
-	if *par < 1 {
-		log.Fatalf("-par must be >= 1, got %d", *par)
+	par, err := parFlag.Value()
+	if err != nil {
+		log.Fatal(err)
 	}
 	tracing := *traceOut != "" || *attrOut != ""
-	if *obsOut != "" || tracing {
-		*obsOn = true
-	}
 	// Live /obs snapshots are published from the instrumented replay, so a
 	// DES run with -http needs a sink even when no export was requested —
 	// but only an explicit ask should write an obs file.
-	exportObs := *obsOn
-	if *httpAddr != "" && *useDES {
-		*obsOn = true
-	}
+	exportObs := obsFlags.Enabled() || tracing
+	obsOn := exportObs
 	if !*useDES {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "seed", "measure", "probe-interval", "trace-every", "par":
+			case "seed", "measure", "probe-interval", "trace-every", "par",
+				"shards", "enclosures", "boards", "clients-per-board", "shard-diag":
 				log.Printf("warning: -%s has no effect without -des", f.Name)
 			}
 		})
-		if *obsOn {
+		if obsOn {
 			log.Fatal("-obs instruments the discrete-event run; add -des")
 		}
 	}
@@ -110,18 +107,27 @@ func main() {
 			}
 		})
 	}
-
-	var intro *introspect.Server
-	if *httpAddr != "" {
-		intro = introspect.New()
-		bound, _, err := intro.Serve(*httpAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("introspection: serving http://%s (/obs, /debug/pprof) for the process lifetime", bound)
+	if !sharding.Enabled() {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "enclosures", "boards", "clients-per-board", "shard-diag":
+				log.Printf("warning: -%s has no effect without -shards", f.Name)
+			}
+		})
 	}
 
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	intro, bound, err := httpFlag.Serve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if intro != nil {
+		log.Printf("introspection: serving http://%s (/obs, /debug/pprof) for the process lifetime", bound)
+		if *useDES {
+			obsOn = true
+		}
+	}
+
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,10 +171,16 @@ func main() {
 		opts.Seed = *seed
 		opts.MeasureSec = *measure
 		opts.ProbeIntervalSec = *probeInterval
-		opts.Parallelism = *par
+		opts.Parallelism = par
+		opts.Topology = sharding.Topology()
+		var diagSink *obs.Sink
+		if sharding.DiagOut() != "" && opts.Topology != nil {
+			diagSink = obs.NewSink()
+			opts.ShardDiag = diagSink
+		}
 
 		var sink *obs.Sink
-		if *obsOn {
+		if obsOn {
 			sink = obs.NewSink()
 			opts.Obs = sink
 			if tracing {
@@ -214,6 +226,17 @@ func main() {
 			res.Bottleneck, res.Utilization["cpu"]*100,
 			res.Utilization["disk"]*100, res.Utilization["net"]*100)
 
+		if diagSink != nil {
+			dman := obs.NewManifest(p.Name, d.Name, *seed)
+			dman.Config["shards"] = strconv.Itoa(opts.Topology.Shards)
+			dman.WallSec = wall.Seconds()
+			diagSink.SetManifest(dman)
+			if err := diagSink.WriteFile(sharding.DiagOut()); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("shard-diag: wrote %s (scheduling-dependent; not byte-stable across runs)", sharding.DiagOut())
+		}
+
 		if sink != nil {
 			man := obs.NewManifest(p.Name, d.Name, *seed)
 			man.Config["warmup_sec"] = strconv.FormatFloat(opts.WarmupSec, 'g', -1, 64)
@@ -223,6 +246,11 @@ func main() {
 			man.Config["clients"] = strconv.Itoa(res.Clients)
 			if opts.TraceEvery > 0 {
 				man.Config["trace_every"] = strconv.FormatInt(opts.TraceEvery, 10)
+			}
+			if t := opts.Topology; t != nil {
+				man.Config["shards"] = strconv.Itoa(t.Shards)
+				man.Config["enclosures"] = strconv.Itoa(t.Enclosures)
+				man.Config["boards_per_enclosure"] = strconv.Itoa(t.BoardsPerEnclosure)
 			}
 			if p.Batch {
 				man.SimTimeSec = res.ExecTime
@@ -234,10 +262,7 @@ func main() {
 			sink.SetManifest(man)
 
 			if exportObs {
-				out := *obsOut
-				if out == "" {
-					out = "run.jsonl"
-				}
+				out := obsFlags.Path()
 				if err := sink.WriteFile(out); err != nil {
 					log.Fatal(err)
 				}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"time"
 
+	"warehousesim/internal/core/cliflags"
 	"warehousesim/internal/memblade"
 	"warehousesim/internal/obs"
 	"warehousesim/internal/obs/span"
@@ -83,26 +84,22 @@ func main() {
 	replay := flag.Bool("replay", false, "replay through the two-level memory simulator")
 	local := flag.Float64("local", 0.25, "local-memory fraction for -replay")
 	policy := flag.String("policy", "random", "replacement policy for -replay")
-	obsOn := flag.Bool("obs", false, "record the replay's memblade hit/miss streams (requires -replay)")
-	obsOut := flag.String("obs-out", "", "write the obs export here (.csv for CSV, else JSONL; implies -obs; default replay.jsonl)")
+	obsFlags := cliflags.AddObs(flag.CommandLine, "the replay's memblade hit/miss streams (requires -replay)", "replay.jsonl")
 	traceOut := flag.String("trace-out", "", "write a Perfetto trace of the replay's swap/CBF spans here (implies -obs)")
 	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth access by access index (1 = all)")
 	sampleEvery := flag.Int64("sample-every", 1024, "hit-rate series sampling stride, accesses")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
-	if *obsOut != "" || *traceOut != "" {
-		*obsOn = true
-	}
-	if *obsOn && !*replay {
+	obsOn := obsFlags.Enabled() || *traceOut != ""
+	if obsOn && !*replay {
 		log.Fatal("-obs records the replay; add -replay")
 	}
 	if *traceEvery < 1 {
 		log.Fatalf("-trace-every must be >= 1, got %d", *traceEvery)
 	}
 
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -176,7 +173,7 @@ func main() {
 			log.Fatal(err)
 		}
 		var sink *obs.Sink
-		if *obsOn {
+		if obsOn {
 			sink = obs.NewSink()
 			sim.Instrument(sink, *sampleEvery)
 			sim.InstrumentSpans(span.NewTracer(sink, *traceEvery))
@@ -204,10 +201,7 @@ func main() {
 			man.WallSec = wall.Seconds()
 			sink.SetManifest(man)
 
-			out := *obsOut
-			if out == "" {
-				out = "replay.jsonl"
-			}
+			out := obsFlags.Path()
 			if err := sink.WriteFile(out); err != nil {
 				log.Fatal(err)
 			}

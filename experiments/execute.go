@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"warehousesim/internal/obs"
+)
+
+// RunSpec describes one experiments invocation: which experiments to
+// run, where to record registry-level observability, how many suite
+// workers to fan across, and what to call as results commit. The zero
+// value runs the whole registry sequentially with no recording — every
+// legacy call shape (Run, RunWith, RunAll, RunAllWith, RunAllPar) is a
+// point in this space, and those functions are now thin deprecated
+// wrappers over Execute.
+type RunSpec struct {
+	// IDs selects experiments by registry id, in the order given; an
+	// unknown id fails the whole call before anything runs. Empty means
+	// every registered experiment in registry order.
+	IDs []string
+	// Recorder receives registry-level observability — an "experiment"
+	// event plus run/error counters per experiment (see recordEntry).
+	// Nil records nothing.
+	Recorder obs.Recorder
+	// Parallelism is the suite-level worker count; values <= 1 run
+	// sequentially. Output is byte-identical at every value: workers
+	// speculate ahead, but reports, recorder contents, and Progress
+	// calls commit strictly in selection order.
+	Parallelism int
+	// Progress, when non-nil, is called after each experiment commits.
+	Progress func(SuiteProgress)
+}
+
+// Execute runs the experiments selected by spec and returns their
+// reports in selection order. An error from the experiment at selection
+// position i aborts the suite with that error; speculative results past
+// i are discarded, exactly as a sequential loop would never have
+// produced them.
+func Execute(spec RunSpec) ([]Report, error) {
+	entries, err := selectEntries(spec.IDs)
+	if err != nil {
+		return nil, err
+	}
+	return executeEntries(entries, spec.Recorder, spec.Parallelism, spec.Progress)
+}
+
+// selectEntries resolves a RunSpec id list against the registry.
+func selectEntries(ids []string) ([]entry, error) {
+	if len(ids) == 0 {
+		return registry, nil
+	}
+	byID := make(map[string]entry, len(registry))
+	for _, e := range registry {
+		byID[e.id] = e
+	}
+	out := make([]entry, 0, len(ids))
+	for _, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			known := IDs()
+			sort.Strings(known)
+			return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// executeEntries is the speculative-but-ordered suite engine behind
+// Execute: workers may compute ahead of the commit point, but nothing
+// observable (report order, recorder contents, error selection,
+// progress calls) depends on completion order, so output is
+// byte-identical to the sequential path at any worker count.
+func executeEntries(entries []entry, rec obs.Recorder, par int, onDone func(SuiteProgress)) ([]Report, error) {
+	if par > len(entries) {
+		par = len(entries)
+	}
+	out := make([]Report, 0, len(entries))
+	commit := func(e entry, r Report, err error) error {
+		recordEntry(e, r, err, rec)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.id, err)
+		}
+		out = append(out, r)
+		if onDone != nil {
+			onDone(SuiteProgress{ID: e.id, Index: e.order, Done: len(out), Total: len(entries)})
+		}
+		return nil
+	}
+
+	if par <= 1 {
+		for _, e := range entries {
+			r, err := e.run()
+			if err := commit(e, r, err); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	type result struct {
+		rep Report
+		err error
+	}
+	results := make([]result, len(entries))
+	ready := make([]chan struct{}, len(entries))
+	next := make(chan int, len(entries))
+	for i := range entries {
+		ready[i] = make(chan struct{})
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := entries[i].run()
+				results[i] = result{rep: r, err: err}
+				close(ready[i])
+			}
+		}()
+	}
+	// On early error the remaining speculative runs are left to drain;
+	// they touch only their own slots.
+	defer wg.Wait()
+
+	for i, e := range entries {
+		<-ready[i]
+		if err := commit(e, results[i].rep, results[i].err); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

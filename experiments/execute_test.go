@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"warehousesim/internal/obs"
+)
+
+// TestExecuteMatchesLegacy: every legacy call shape must be a pure
+// restriction of Execute — same reports, same recorded bytes, same
+// progress sequence.
+func TestExecuteMatchesLegacy(t *testing.T) {
+	withStubRegistry(t, stubEntries(6, -1))
+
+	legacy := runSuite(t, 4) // RunAllPar(sink, 4, progress)
+	sink := obs.NewSink()
+	var prog []SuiteProgress
+	reps, err := Execute(RunSpec{Recorder: sink, Parallelism: 4,
+		Progress: func(p SuiteProgress) { prog = append(prog, p) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reps, legacy.reps) || !bytes.Equal(buf.Bytes(), legacy.export) ||
+		!reflect.DeepEqual(prog, legacy.progress) {
+		t.Fatal("Execute(full spec) differs from RunAllPar")
+	}
+
+	one, err := RunWith("stub03", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Execute(RunSpec{IDs: []string{"stub03"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || !reflect.DeepEqual(sel[0], one) {
+		t.Fatalf("Execute single-id selection %+v != RunWith %+v", sel, one)
+	}
+
+	all, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Execute(RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, zero) {
+		t.Fatal("Execute zero spec differs from RunAll")
+	}
+}
+
+// TestExecuteSelection: IDs run in the order given, and an unknown id
+// fails the whole call before any experiment runs or records.
+func TestExecuteSelection(t *testing.T) {
+	withStubRegistry(t, stubEntries(5, -1))
+	reps, err := Execute(RunSpec{IDs: []string{"stub04", "stub01"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].ID != "stub04" || reps[1].ID != "stub01" {
+		t.Fatalf("selection order not honored: %+v", reps)
+	}
+
+	sink := obs.NewSink()
+	if _, err := Execute(RunSpec{IDs: []string{"stub00", "nope"}, Recorder: sink}); err == nil {
+		t.Fatal("unknown id accepted")
+	} else if !strings.Contains(err.Error(), `unknown id "nope"`) {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if sink.CounterValue("experiments.runs") != 0 {
+		t.Fatal("experiments ran despite unknown id in spec")
+	}
+}

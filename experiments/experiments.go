@@ -7,7 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"warehousesim/internal/obs"
@@ -76,38 +75,35 @@ func Titles() map[string]string {
 }
 
 // Run executes the experiment with the given id.
+//
+// Deprecated: use Execute(RunSpec{IDs: []string{id}}).
 func Run(id string) (Report, error) { return RunWith(id, nil) }
 
 // RunWith executes the experiment with the given id under registry-level
 // observability: rec (may be nil) receives an "experiment" event and
 // counters per run, so whbench -obs can attribute suite time and report
 // size to individual experiments.
+//
+// Deprecated: use Execute(RunSpec{IDs: []string{id}, Recorder: rec}).
 func RunWith(id string, rec obs.Recorder) (Report, error) {
-	for _, e := range registry {
-		if e.id == id {
-			return runEntry(e, rec)
-		}
+	reps, err := Execute(RunSpec{IDs: []string{id}, Recorder: rec})
+	if err != nil {
+		return Report{}, err
 	}
-	known := IDs()
-	sort.Strings(known)
-	return Report{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	return reps[0], nil
 }
 
 // RunAll executes every registered experiment in order.
-func RunAll() ([]Report, error) { return RunAllWith(nil) }
+//
+// Deprecated: use Execute(RunSpec{}).
+func RunAll() ([]Report, error) { return Execute(RunSpec{}) }
 
 // RunAllWith executes every registered experiment in order, recording
-// registry-level observability into rec (may be nil). For parallel
-// execution with identical output, see RunAllPar.
+// registry-level observability into rec (may be nil).
+//
+// Deprecated: use Execute(RunSpec{Recorder: rec}).
 func RunAllWith(rec obs.Recorder) ([]Report, error) {
-	return RunAllPar(rec, 1, nil)
-}
-
-// runEntry invokes one experiment and records its outcome.
-func runEntry(e entry, rec obs.Recorder) (Report, error) {
-	r, err := e.run()
-	recordEntry(e, r, err, rec)
-	return r, err
+	return Execute(RunSpec{Recorder: rec})
 }
 
 // recordEntry records one finished experiment's registry-level

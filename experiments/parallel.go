@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 
 	"warehousesim/internal/obs"
@@ -42,12 +41,19 @@ func SetSweepParallelism(n int) {
 // SweepParallelism returns the current internal-sweep worker count.
 func SweepParallelism() int { return sweepParallelism }
 
-// RunCells executes n independent cells across min(par, n) workers and
+// RunCells executes n independent cells across min(par, n) workers.
+//
+// Deprecated: RunCells is an internal sweep mechanism, not a suite
+// entry point; experiments fan their own cells via runCells. It remains
+// exported only for compatibility and will be removed.
+func RunCells(par, n int, cell func(i int)) { runCells(par, n, cell) }
+
+// runCells executes n independent cells across min(par, n) workers and
 // returns when all have finished. Cells receive their index and must
 // write results only to their own slot of a caller-owned slice; the
 // caller merges in index order afterwards, which keeps any derived
 // output identical to running the cells sequentially.
-func RunCells(par, n int, cell func(i int)) {
+func runCells(par, n int, cell func(i int)) {
 	if par > n {
 		par = n
 	}
@@ -87,72 +93,10 @@ type SuiteProgress struct {
 
 // RunAllPar executes every registered experiment, fanning runs across
 // par workers (par <= 1 is fully sequential) while committing results
-// strictly in registry order: reports, the registry-level observability
-// recorded into rec, and the onDone progress hook (both may be nil).
-// Output is identical for every par — an error at registry position i
-// returns that error and discards any speculative results after i,
-// exactly as the sequential loop would never have run them.
+// strictly in registry order.
+//
+// Deprecated: use Execute(RunSpec{Recorder: rec, Parallelism: par,
+// Progress: onDone}).
 func RunAllPar(rec obs.Recorder, par int, onDone func(SuiteProgress)) ([]Report, error) {
-	entries := registry
-	if par > len(entries) {
-		par = len(entries)
-	}
-	out := make([]Report, 0, len(entries))
-	commit := func(i int, e entry, r Report, err error) error {
-		recordEntry(e, r, err, rec)
-		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", e.id, err)
-		}
-		out = append(out, r)
-		if onDone != nil {
-			onDone(SuiteProgress{ID: e.id, Index: i, Done: len(out), Total: len(entries)})
-		}
-		return nil
-	}
-
-	if par <= 1 {
-		for i, e := range entries {
-			r, err := e.run()
-			if err := commit(i, e, r, err); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-
-	type result struct {
-		rep Report
-		err error
-	}
-	results := make([]result, len(entries))
-	ready := make([]chan struct{}, len(entries))
-	next := make(chan int, len(entries))
-	for i := range entries {
-		ready[i] = make(chan struct{})
-		next <- i
-	}
-	close(next)
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				r, err := entries[i].run()
-				results[i] = result{rep: r, err: err}
-				close(ready[i])
-			}
-		}()
-	}
-	// On early error the remaining speculative runs are left to drain;
-	// they touch only their own slots.
-	defer wg.Wait()
-
-	for i, e := range entries {
-		<-ready[i]
-		if err := commit(i, e, results[i].rep, results[i].err); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return Execute(RunSpec{Recorder: rec, Parallelism: par, Progress: onDone})
 }

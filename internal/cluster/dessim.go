@@ -59,22 +59,20 @@ type SimOptions struct {
 	// of an instrumented run with the current simulated time — the
 	// live-introspection publish hook. It must only read.
 	OnProbeTick func(simNow float64)
-}
 
-// probeInterval resolves the sampling interval default.
-func (o SimOptions) probeInterval() des.Time {
-	if o.ProbeIntervalSec > 0 {
-		return des.Time(o.ProbeIntervalSec)
-	}
-	return 1
-}
+	// Topology, when non-nil, switches Simulate to the sharded rack
+	// model: a cluster of identical servers grouped into enclosures,
+	// partitioned across Topology.Shards event heaps (see rack.go and
+	// internal/des/shard). Nil runs the single-server flat model.
+	Topology *ShardedTopology
 
-// parallelism resolves the speculative-trial worker count.
-func (o SimOptions) parallelism() int {
-	if o.Parallelism > 1 {
-		return o.Parallelism
-	}
-	return 1
+	// ShardDiag, when non-nil and enabled, receives the sharded
+	// engine's per-shard synchronization diagnostics after a Topology
+	// run: clock-skew and mailbox-depth series plus window and message
+	// counters. These depend on goroutine scheduling, so they are kept
+	// separate from Obs — the deterministic export stays byte-identical
+	// at any shard count. Ignored without a Topology.
+	ShardDiag obs.Recorder
 }
 
 // DefaultSimOptions returns sensible defaults for validation runs.
@@ -82,23 +80,46 @@ func DefaultSimOptions() SimOptions {
 	return SimOptions{Seed: 1, WarmupSec: 30, MeasureSec: 240, MaxClients: 4096}
 }
 
-func (o SimOptions) validate() error {
+// Normalize validates the options and resolves every defaulted field to
+// its effective value: ProbeIntervalSec 0 becomes 1 s, Parallelism 0
+// becomes 1 (sequential), and a Topology gets its own defaults filled
+// in (see ShardedTopology.normalize). It returns the resolved copy —
+// the receiver is never mutated, and a non-nil Topology is replaced by
+// a normalized copy rather than written through.
+//
+// Simulate calls Normalize on entry, so callers only need it when they
+// want the effective values themselves (a CLI echoing the resolved
+// probe interval, a test pinning defaults).
+func (o SimOptions) Normalize() (SimOptions, error) {
 	if o.WarmupSec < 0 || o.MeasureSec <= 0 {
-		return fmt.Errorf("cluster: invalid sim window warmup=%g measure=%g", o.WarmupSec, o.MeasureSec)
+		return o, fmt.Errorf("cluster: invalid sim window warmup=%g measure=%g", o.WarmupSec, o.MeasureSec)
 	}
 	if o.MaxClients <= 0 {
-		return fmt.Errorf("cluster: MaxClients must be positive, got %d", o.MaxClients)
+		return o, fmt.Errorf("cluster: MaxClients must be positive, got %d", o.MaxClients)
 	}
 	if o.ProbeIntervalSec < 0 {
-		return fmt.Errorf("cluster: negative probe interval %g", o.ProbeIntervalSec)
+		return o, fmt.Errorf("cluster: negative probe interval %g", o.ProbeIntervalSec)
 	}
 	if o.TraceEvery < 0 {
-		return fmt.Errorf("cluster: negative trace sampling stride %d", o.TraceEvery)
+		return o, fmt.Errorf("cluster: negative trace sampling stride %d", o.TraceEvery)
 	}
 	if o.Parallelism < 0 {
-		return fmt.Errorf("cluster: negative parallelism %d", o.Parallelism)
+		return o, fmt.Errorf("cluster: negative parallelism %d", o.Parallelism)
 	}
-	return nil
+	if o.ProbeIntervalSec == 0 {
+		o.ProbeIntervalSec = 1
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+	if o.Topology != nil {
+		t, err := o.Topology.normalize()
+		if err != nil {
+			return o, err
+		}
+		o.Topology = &t
+	}
+	return o, nil
 }
 
 // simServer binds the configuration's stations to a DES instance.
@@ -148,7 +169,8 @@ type trialOutcome struct {
 // For batch workloads it executes one job of Profile.JobRequests tasks
 // at the configured concurrency and reports 1/execution-time.
 func (c Config) Simulate(gen workload.Generator, opt SimOptions) (Result, error) {
-	if err := opt.validate(); err != nil {
+	opt, err := opt.Normalize()
+	if err != nil {
 		return Result{}, err
 	}
 	p := gen.Profile()
@@ -157,6 +179,9 @@ func (c Config) Simulate(gen workload.Generator, opt SimOptions) (Result, error)
 	}
 	if err := p.Validate(); err != nil {
 		return Result{}, err
+	}
+	if opt.Topology != nil {
+		return c.simulateRack(gen, p, opt)
 	}
 	if p.Batch {
 		return c.simulateBatch(gen, p, opt)
@@ -254,7 +279,7 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	// sequential. Both produce the same bracket, best-candidate
 	// bookkeeping, and seed-counter position.
 	lastGood, firstBad := 0, 0
-	if par := opt.parallelism(); par > 1 && workload.IsStateless(gen) {
+	if par := opt.Parallelism; par > 1 && workload.IsStateless(gen) {
 		var good []rampCell
 		good, lastGood, firstBad, seed = c.parallelRamp(gen, p, opt, par)
 		for _, g := range good {
@@ -419,7 +444,7 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 
 	var probes *des.Probes
 	if b.recording {
-		probes = des.NewProbes(b.sim, rec, opt.probeInterval())
+		probes = des.NewProbes(b.sim, rec, des.Time(opt.ProbeIntervalSec))
 		probes.Watch(b.srv.cpu, b.srv.disk, b.srv.net)
 		probes.OnTick = opt.OnProbeTick
 		probes.Start()

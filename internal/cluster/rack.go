@@ -1,0 +1,775 @@
+package cluster
+
+// The sharded rack model: SimOptions.Topology switches Simulate from
+// the flat single-server model to a rack of identical servers grouped
+// into enclosures, executed on the conservative parallel kernel of
+// internal/des/shard. Enclosures are the partitioning unit — every
+// entity of an enclosure (its boards' cpu/net stations, its memory
+// blade) lives on one shard, so board-local and blade traffic can
+// touch shared state directly while still riding the mailbox Post
+// discipline. Everything that crosses enclosure boundaries — SAN disk
+// I/O, mapreduce shuffle chunks, job-completion reports — is genuinely
+// cross-shard and flows through the bounded channel mailboxes with a
+// delay of exactly the engine lookahead L, which is the minimum
+// cross-enclosure latency (NIC serialization of one fabric unit plus a
+// switch hop, fabric.CrossEnclosureLatencySec). The same L is both the
+// synchronization lookahead and the modeled transport delay, so the
+// physics and the protocol agree by construction.
+//
+// Partition-independence discipline (the shards-1-vs-N byte gate):
+//
+//   - All randomness is derived per client/board from (Seed, global
+//     entity id, index) — never from a shared stream whose draw order
+//     could depend on the partitioning.
+//   - Recording is per-enclosure into private obs.Sinks at EVERY shard
+//     count, folded in enclosure order afterwards (obs.Sink.MergeFrom),
+//     so float accumulation order and event interleaving never depend
+//     on how enclosures were packed onto shards.
+//   - Probes omit the kernel-wide gauges (heap depth, event rate are
+//     per-shard quantities) and resource series carry enclosure/board
+//     names, so every series is written by exactly one part.
+//   - Engine diagnostics (clock skew, mailbox depth) are scheduling-
+//     dependent and go to SimOptions.ShardDiag, never into Obs.
+//
+// Interactive workloads run a fixed closed-loop population
+// (ClientsPerBoard per board) instead of the flat model's adaptive
+// client search: the rack measures a provisioned cluster at its
+// configured operating point. Batch workloads run one mapreduce-style
+// job: tasks are split statically across boards, each task walks
+// cpu -> memory blade -> SAN -> NIC and then ships a shuffle chunk to
+// a deterministically chosen peer board, which receives it on its own
+// NIC and reports to a rack-wide aggregator; the job is done when the
+// aggregator has seen every chunk. Batch jobs end by running the
+// cluster dry — the run-dry exit is deterministic, unlike Stop — and
+// a recorded batch run replays with the job's completion time as the
+// horizon so probe timelines are complete.
+
+import (
+	"fmt"
+	"math"
+
+	"warehousesim/internal/des"
+	"warehousesim/internal/des/shard"
+	"warehousesim/internal/fabric"
+	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/span"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/workload"
+)
+
+// ShardedTopology sizes the rack model: Enclosures enclosures of
+// BoardsPerEnclosure boards (each one configured Server), one memory
+// blade per enclosure, and one consolidated SAN array shared by the
+// whole rack, partitioned across Shards event heaps.
+type ShardedTopology struct {
+	// Enclosures is the number of enclosures (>= 1); the enclosure is
+	// the partitioning unit.
+	Enclosures int
+	// BoardsPerEnclosure is the number of server boards per enclosure
+	// (>= 1).
+	BoardsPerEnclosure int
+	// ClientsPerBoard is the closed-loop client population per board
+	// for interactive workloads; 0 means 4. The rack model measures
+	// this fixed provisioning directly — there is no adaptive search.
+	ClientsPerBoard int
+	// SANDisks is the service capacity of the consolidated disk array;
+	// 0 means one disk per enclosure.
+	SANDisks int
+	// Shards is the number of event heaps, each on its own goroutine;
+	// values outside [1, Enclosures] are clamped. Results are
+	// byte-identical at every value.
+	Shards int
+}
+
+// normalize fills defaults and validates; SimOptions.Normalize calls it
+// on a copy.
+func (t ShardedTopology) normalize() (ShardedTopology, error) {
+	if t.Enclosures < 1 {
+		return t, fmt.Errorf("cluster: topology needs at least one enclosure, got %d", t.Enclosures)
+	}
+	if t.BoardsPerEnclosure < 1 {
+		return t, fmt.Errorf("cluster: topology needs at least one board per enclosure, got %d", t.BoardsPerEnclosure)
+	}
+	if t.ClientsPerBoard < 0 {
+		return t, fmt.Errorf("cluster: negative clients per board %d", t.ClientsPerBoard)
+	}
+	if t.SANDisks < 0 {
+		return t, fmt.Errorf("cluster: negative SAN capacity %d", t.SANDisks)
+	}
+	if t.ClientsPerBoard == 0 {
+		t.ClientsPerBoard = 4
+	}
+	if t.SANDisks == 0 {
+		t.SANDisks = t.Enclosures
+	}
+	if t.Shards < 1 {
+		t.Shards = 1
+	}
+	if t.Shards > t.Enclosures {
+		t.Shards = t.Enclosures
+	}
+	return t, nil
+}
+
+// rackSeed derives one entity-scoped RNG seed from the run seed. Pure
+// function of (root, ent, idx), so per-client streams are independent
+// of the partitioning and of setup iteration order.
+func rackSeed(root uint64, ent, idx int) uint64 {
+	z := root + 0x9e3779b97f4a7c15*uint64(ent+1) + 0xbf58476d1ce4e5b9*uint64(idx+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rackSim owns one rack run: the engine, the per-enclosure model state,
+// and the rack-global entities (SAN, aggregator) on shard 0.
+type rackSim struct {
+	cfg       Config
+	topo      ShardedTopology
+	p         workload.Profile
+	opt       SimOptions
+	eng       *shard.Engine
+	la        des.Time
+	memFrac   float64
+	dm        demandModel
+	recording bool
+
+	encs   []*rackEnclosure
+	boards []*rackBoard // global board order: enclosure-major
+
+	sh0    *shard.Shard
+	san    *des.Resource
+	sanEnt shard.EntityID
+	aggEnt shard.EntityID
+	global *obs.Sink // rack-global recording part (SAN probes, run counters)
+
+	aggDone   int
+	aggTotal  int
+	aggFinish des.Time
+	aggDoneFn des.Action
+}
+
+// rackEnclosure is one enclosure: a shard-resident group of boards plus
+// the enclosure's memory blade and its private recording part. All of
+// its state is touched only by events on its shard.
+type rackEnclosure struct {
+	r        *rackSim
+	idx      int
+	sh       *shard.Shard
+	bladeEnt shard.EntityID
+	blade    *des.Resource // nil when the config has no remote memory
+	boards   []*rackBoard
+
+	think     stats.Exponential
+	hist      *stats.Histogram
+	completed int
+	measuring bool
+	arrivals  int64
+
+	recording bool
+	sink      *obs.Sink
+	rec       obs.Recorder
+	gen       workload.Generator
+	tracer    *span.Tracer
+	evFields  [3]obs.Field
+}
+
+// rackBoard is one server board: its cpu and NIC stations plus the
+// batch-mode task state.
+type rackBoard struct {
+	r      *rackSim
+	enc    *rackEnclosure
+	global int
+	ent    shard.EntityID
+	cpu    *des.Resource
+	net    *des.Resource
+
+	rng       stats.RNG // batch-mode sampling stream
+	remaining int       // batch tasks not yet launched
+}
+
+// rackFlow walks one request through the rack pipeline with bound-once
+// continuations, mirroring the flat model's reqFlow: local cpu, then a
+// memory-blade swap round trip, then a SAN round trip, then the NIC.
+// The blade is enclosure-resident (same shard as its boards on every
+// legal partitioning); the SAN lives on shard 0 — both hops use the
+// same Post discipline with delay la, so the trajectory is a pure
+// function of the model, not of the partitioning.
+type rackFlow struct {
+	b     *rackBoard
+	d     Demands
+	start des.Time
+	// stage boundary times, kept for span emission at completion.
+	tCPU, tBlade, tSAN des.Time
+	traced             bool
+	req                int64
+	finish             func()
+
+	afterCPUFn, bladeArriveFn, bladeDoneFn, bladeBackFn des.Action
+	sanArriveFn, sanDoneFn, sanBackFn, netDoneFn        des.Action
+}
+
+func (f *rackFlow) init(b *rackBoard, finish func()) {
+	f.b = b
+	f.finish = finish
+	f.afterCPUFn = f.afterCPU
+	f.bladeArriveFn = f.bladeArrive
+	f.bladeDoneFn = f.bladeDone
+	f.bladeBackFn = f.bladeBack
+	f.sanArriveFn = f.sanArrive
+	f.sanDoneFn = f.sanDone
+	f.sanBackFn = f.sanBack
+	f.netDoneFn = f.netDone
+}
+
+func (f *rackFlow) serve(d Demands) {
+	f.d = d
+	f.start = f.b.enc.sh.Now()
+	f.b.cpu.Submit(des.Time(d.CPUSec*(1-f.b.r.memFrac)), f.afterCPUFn)
+}
+
+func (f *rackFlow) afterCPU() {
+	r := f.b.r
+	f.tCPU = f.b.enc.sh.Now()
+	if r.memFrac > 0 {
+		f.b.enc.sh.Post(f.b.ent, f.b.enc.bladeEnt, r.la, f.bladeArriveFn)
+		return
+	}
+	f.tBlade = f.tCPU
+	f.goSAN()
+}
+
+// bladeArrive..bladeBack run the swap round trip: the remote-memory
+// share of cpu service (the flat model folds it into CPUSec; here it
+// occupies the blade's channel) bracketed by two fabric hops.
+func (f *rackFlow) bladeArrive() {
+	f.b.enc.blade.Submit(des.Time(f.d.CPUSec*f.b.r.memFrac), f.bladeDoneFn)
+}
+
+func (f *rackFlow) bladeDone() {
+	f.b.enc.sh.Post(f.b.enc.bladeEnt, f.b.ent, f.b.r.la, f.bladeBackFn)
+}
+
+func (f *rackFlow) bladeBack() {
+	f.tBlade = f.b.enc.sh.Now()
+	f.goSAN()
+}
+
+func (f *rackFlow) goSAN() {
+	r := f.b.r
+	if f.d.DiskSec > 0 {
+		f.b.enc.sh.Post(f.b.ent, r.sanEnt, r.la, f.sanArriveFn)
+		return
+	}
+	f.tSAN = f.tBlade
+	f.goNet()
+}
+
+func (f *rackFlow) sanArrive() {
+	r := f.b.r
+	r.san.Submit(des.Time(f.d.DiskSec), f.sanDoneFn)
+}
+
+func (f *rackFlow) sanDone() {
+	r := f.b.r
+	r.sh0.Post(r.sanEnt, f.b.ent, r.la, f.sanBackFn)
+}
+
+func (f *rackFlow) sanBack() {
+	f.tSAN = f.b.enc.sh.Now()
+	f.goNet()
+}
+
+func (f *rackFlow) goNet() {
+	f.b.net.Submit(des.Time(f.d.NetSec), f.netDoneFn)
+}
+
+func (f *rackFlow) netDone() { f.finish() }
+
+// emitSpans records one completed request's span tree into the
+// enclosure's part. Unlike the flat model, spans are emitted at
+// completion (requests still in flight at the horizon are dropped, not
+// truncated): the pipeline crosses shards, and only at completion is
+// the whole timeline known to the board's shard.
+func (e *rackEnclosure) emitSpans(f *rackFlow, end des.Time) {
+	tr := e.tracer
+	root := tr.Emit(0, f.req, span.KindRequest, "request", float64(f.start), float64(end))
+	local := f.d.CPUSec * (1 - e.r.memFrac)
+	began := float64(f.tCPU) - local
+	tr.Emit(root, f.req, span.KindQueue, f.b.cpu.Name(), float64(f.start), began)
+	tr.Emit(root, f.req, span.KindService, f.b.cpu.Name(), began, float64(f.tCPU))
+	if e.r.memFrac > 0 {
+		tr.Emit(root, f.req, span.KindSwap, e.blade.Name(), float64(f.tCPU), float64(f.tBlade))
+	}
+	if f.d.DiskSec > 0 {
+		tr.Emit(root, f.req, span.KindService, "san", float64(f.tBlade), float64(f.tSAN))
+	}
+	nb := float64(end) - f.d.NetSec
+	tr.Emit(root, f.req, span.KindQueue, f.b.net.Name(), float64(f.tSAN), nb)
+	tr.Emit(root, f.req, span.KindService, f.b.net.Name(), nb, float64(end))
+}
+
+// rackClient is one closed-loop client pinned to a board: think, issue,
+// await the pipeline, repeat.
+type rackClient struct {
+	enc  *rackEnclosure
+	rng  stats.RNG
+	flow rackFlow
+
+	startFn, issueFn des.Action
+}
+
+func (cl *rackClient) next() {
+	e := cl.enc
+	if e.think.Mean > 0 {
+		e.sh.Sim.Schedule(des.Time(e.think.Sample(&cl.rng)), cl.issueFn)
+		return
+	}
+	cl.issue()
+}
+
+func (cl *rackClient) issue() {
+	e := cl.enc
+	req := e.gen.Sample(&cl.rng)
+	d := e.r.dm.For(req)
+	cl.flow.traced = e.tracer.Sampled(e.arrivals)
+	cl.flow.req = e.arrivals
+	e.arrivals++
+	cl.flow.serve(d)
+}
+
+func (cl *rackClient) finished() {
+	e := cl.enc
+	end := e.sh.Now()
+	latency := float64(end - cl.flow.start)
+	if e.measuring {
+		e.hist.Add(latency)
+		e.completed++
+	}
+	if e.recording {
+		violation := e.r.p.QoSLatencySec > 0 && latency > e.r.p.QoSLatencySec
+		e.rec.Count("requests", 1)
+		if violation {
+			e.rec.Count("qos_violations", 1)
+		}
+		e.rec.Observe("latency_sec", latency)
+		e.evFields[0] = obs.F("latency_sec", latency)
+		e.evFields[1] = obs.FB("qos_violation", violation)
+		e.evFields[2] = obs.FB("measured", e.measuring)
+		e.rec.Event("request", float64(end), e.evFields[:]...)
+		if cl.flow.traced {
+			e.emitSpans(&cl.flow, end)
+		}
+	}
+	cl.next()
+}
+
+// rackSlot is one batch task slot: it relaunches itself until its board
+// runs out of tasks, shipping each finished task's shuffle chunk before
+// picking up the next one.
+type rackSlot struct {
+	b    *rackBoard
+	flow rackFlow
+}
+
+func (s *rackSlot) launch() {
+	b := s.b
+	if b.remaining == 0 {
+		return
+	}
+	b.remaining--
+	e := b.enc
+	req := e.gen.Sample(&b.rng)
+	d := b.r.dm.For(req)
+	s.flow.traced = e.tracer.Sampled(e.arrivals)
+	s.flow.req = e.arrivals
+	e.arrivals++
+	s.flow.serve(d)
+}
+
+func (s *rackSlot) finished() {
+	b := s.b
+	e := b.enc
+	end := e.sh.Now()
+	if e.recording {
+		latency := float64(end - s.flow.start)
+		e.rec.Count("requests", 1)
+		e.rec.Observe("latency_sec", latency)
+		e.evFields[0] = obs.F("latency_sec", latency)
+		e.evFields[1] = obs.FB("qos_violation", false)
+		e.evFields[2] = obs.FB("measured", true)
+		e.rec.Event("request", float64(end), e.evFields[:]...)
+		if s.flow.traced {
+			e.emitSpans(&s.flow, end)
+		}
+	}
+	// Shuffle: ship the task's output chunk to a deterministically
+	// chosen peer board. The slot frees immediately (map-side), so the
+	// chunk carries its own continuation state.
+	peer := b.shufflePeer()
+	ch := &rackChunk{r: b.r, dst: peer, netSec: s.flow.d.NetSec}
+	ch.recvFn = ch.recv
+	ch.sentFn = ch.sent
+	e.sh.Post(b.ent, peer.ent, b.r.la, ch.recvFn)
+	s.launch()
+}
+
+// shufflePeer picks the destination board for a shuffle chunk from the
+// board's own stream — deterministic per board, never self unless the
+// rack has a single board.
+func (b *rackBoard) shufflePeer() *rackBoard {
+	n := len(b.r.boards)
+	if n == 1 {
+		return b
+	}
+	k := int(b.rng.Uint64() % uint64(n-1))
+	return b.r.boards[(b.global+1+k)%n]
+}
+
+// rackChunk is one shuffle chunk in flight: received on the peer
+// board's NIC, then reported to the rack-wide aggregator.
+type rackChunk struct {
+	r      *rackSim
+	dst    *rackBoard
+	netSec float64
+
+	recvFn, sentFn des.Action
+}
+
+func (c *rackChunk) recv() {
+	c.dst.net.Submit(des.Time(c.netSec), c.sentFn)
+}
+
+func (c *rackChunk) sent() {
+	c.dst.enc.sh.Post(c.dst.ent, c.r.aggEnt, c.r.la, c.r.aggDoneFn)
+}
+
+// aggChunkDone runs on shard 0 for every delivered chunk; the last one
+// stamps the job's completion time.
+func (r *rackSim) aggChunkDone() {
+	r.aggDone++
+	if r.aggDone == r.aggTotal {
+		r.aggFinish = r.sh0.Now()
+	}
+}
+
+// buildRack wires the engine, the entity namespace, and the
+// per-enclosure model state. Entity ids are dense and global:
+// boards 0..E*B-1 (enclosure-major), blades E*B..E*B+E-1, then the SAN
+// and the aggregator. Enclosure e lands on shard e*Shards/Enclosures;
+// the SAN and aggregator live on shard 0.
+func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOptions, recording bool) (*rackSim, error) {
+	t := *opt.Topology
+	nBoards := t.Enclosures * t.BoardsPerEnclosure
+	la := des.Time(fabric.CrossEnclosureLatencySec(c.Server.NIC.BytesPerSec()))
+	eng, err := shard.NewEngine(shard.Config{
+		Shards:    t.Shards,
+		Entities:  nBoards + t.Enclosures + 2,
+		Lookahead: la,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &rackSim{
+		cfg:       c,
+		topo:      t,
+		p:         p,
+		opt:       opt,
+		eng:       eng,
+		la:        la,
+		memFrac:   c.memSwapFraction(),
+		dm:        c.demandModelFor(p),
+		recording: recording,
+		sanEnt:    shard.EntityID(nBoards + t.Enclosures),
+		aggEnt:    shard.EntityID(nBoards + t.Enclosures + 1),
+	}
+	r.aggDoneFn = r.aggChunkDone
+	for e := 0; e < t.Enclosures; e++ {
+		sid := e * t.Shards / t.Enclosures
+		enc := &rackEnclosure{
+			r:        r,
+			idx:      e,
+			sh:       eng.Shard(sid),
+			bladeEnt: shard.EntityID(nBoards + e),
+			think:    stats.Exponential{Mean: p.ThinkTimeSec},
+			hist:     stats.NewLatencyHistogram(),
+			gen:      gen,
+		}
+		eng.Assign(enc.bladeEnt, sid)
+		if recording {
+			enc.recording = true
+			enc.sink = obs.NewSink()
+			enc.rec = enc.sink
+			enc.gen = workload.Instrument(gen, enc.sink)
+			if opt.TraceEvery > 0 {
+				// Disjoint id bases keep span ids unique across the
+				// per-enclosure tracers.
+				enc.tracer = span.NewTracerAt(enc.sink, opt.TraceEvery, (int64(e)+1)<<40)
+			}
+		}
+		if r.memFrac > 0 {
+			enc.blade = des.NewResource(enc.sh.Sim, fmt.Sprintf("memblade.e%d", e), 1)
+		}
+		for b := 0; b < t.BoardsPerEnclosure; b++ {
+			g := e*t.BoardsPerEnclosure + b
+			bd := &rackBoard{r: r, enc: enc, global: g, ent: shard.EntityID(g)}
+			eng.Assign(bd.ent, sid)
+			bd.cpu = des.NewResource(enc.sh.Sim, fmt.Sprintf("cpu.e%d.b%d", e, b), c.Server.CPU.Cores())
+			bd.net = des.NewResource(enc.sh.Sim, fmt.Sprintf("net.e%d.b%d", e, b), 1)
+			enc.boards = append(enc.boards, bd)
+			r.boards = append(r.boards, bd)
+		}
+		r.encs = append(r.encs, enc)
+	}
+	r.sh0 = eng.Shard(0)
+	eng.Assign(r.sanEnt, 0)
+	eng.Assign(r.aggEnt, 0)
+	r.san = des.NewResource(r.sh0.Sim, "san", t.SANDisks)
+	if recording {
+		r.global = obs.NewSink()
+	}
+	return r, nil
+}
+
+// startProbes attaches the per-enclosure and rack-global timeline
+// probes of a recorded run. Kernel gauges are omitted — heap depth and
+// event rate are per-shard quantities — and every resource series name
+// is enclosure/board-scoped, so each series belongs to exactly one
+// part. The live-introspection hook rides the rack-global probes
+// (shard 0).
+func (r *rackSim) startProbes() {
+	iv := des.Time(r.opt.ProbeIntervalSec)
+	for _, enc := range r.encs {
+		pr := des.NewProbes(enc.sh.Sim, enc.sink, iv)
+		pr.OmitKernel = true
+		for _, bd := range enc.boards {
+			pr.Watch(bd.cpu, bd.net)
+		}
+		if enc.blade != nil {
+			pr.Watch(enc.blade)
+		}
+		pr.Start()
+	}
+	gp := des.NewProbes(r.sh0.Sim, r.global, iv)
+	gp.OmitKernel = true
+	gp.Watch(r.san)
+	gp.OnTick = r.opt.OnProbeTick
+	gp.Start()
+}
+
+// setupInteractive populates every board with its closed-loop clients
+// and schedules the per-enclosure warm-up boundaries.
+func (r *rackSim) setupInteractive() {
+	for _, enc := range r.encs {
+		enc := enc
+		for _, bd := range enc.boards {
+			for ci := 0; ci < r.topo.ClientsPerBoard; ci++ {
+				cl := &rackClient{enc: enc}
+				cl.flow.init(bd, cl.finished)
+				cl.startFn = cl.next
+				cl.issueFn = cl.issue
+				cl.rng.Seed(rackSeed(r.opt.Seed, bd.global, ci))
+				// Stagger initial arrivals across one think time, from
+				// the client's own stream.
+				enc.sh.Sim.Schedule(des.Time(cl.rng.Float64()*(r.p.ThinkTimeSec+0.01)), cl.startFn)
+			}
+		}
+		enc.sh.Sim.Schedule(des.Time(r.opt.WarmupSec), func() {
+			enc.measuring = true
+			for _, bd := range enc.boards {
+				bd.cpu.ResetWindow()
+				bd.net.ResetWindow()
+			}
+			if enc.blade != nil {
+				enc.blade.ResetWindow()
+			}
+		})
+	}
+	r.sh0.Sim.Schedule(des.Time(r.opt.WarmupSec), func() { r.san.ResetWindow() })
+	if r.recording {
+		r.startProbes()
+	}
+}
+
+// setupBatch splits the job's tasks statically across boards and
+// launches each board's task slots.
+func (r *rackSim) setupBatch() int {
+	slots := r.opt.BatchConcurrency
+	if slots <= 0 {
+		slots = 4 * r.cfg.Server.CPU.Cores() // Hadoop's 4 threads/CPU, per board
+	}
+	n := len(r.boards)
+	r.aggTotal = r.p.JobRequests
+	for _, bd := range r.boards {
+		bd.rng.Seed(rackSeed(r.opt.Seed, bd.global, 0))
+		bd.remaining = r.p.JobRequests / n
+		if bd.global < r.p.JobRequests%n {
+			bd.remaining++
+		}
+		k := slots
+		if k > bd.remaining {
+			k = bd.remaining
+		}
+		for i := 0; i < k; i++ {
+			s := &rackSlot{b: bd}
+			s.flow.init(bd, s.finished)
+			s.launch()
+		}
+	}
+	if r.recording {
+		r.startProbes()
+	}
+	return slots
+}
+
+// utilization aggregates busy integrals over a measurement window of
+// windowSec, in fixed enclosure/board order — integrals don't depend on
+// each shard's final clock, so the map is partition-independent even
+// when a batch run ends with shard clocks apart.
+func (r *rackSim) utilization(windowSec float64) map[string]float64 {
+	var cpu, net float64
+	for _, bd := range r.boards {
+		cb, _ := bd.cpu.Integrals()
+		nb, _ := bd.net.Integrals()
+		cpu += cb / (windowSec * float64(bd.cpu.Servers()))
+		net += nb / windowSec
+	}
+	n := float64(len(r.boards))
+	sb, _ := r.san.Integrals()
+	util := map[string]float64{
+		"cpu":  cpu / n,
+		"net":  net / n,
+		"disk": sb / (windowSec * float64(r.san.Servers())),
+	}
+	if r.memFrac > 0 {
+		var blade float64
+		for _, enc := range r.encs {
+			bb, _ := enc.blade.Integrals()
+			blade += bb / windowSec
+		}
+		util["memblade"] = blade / float64(len(r.encs))
+	}
+	return util
+}
+
+// finishObs folds the per-enclosure parts plus the rack-global part
+// into the caller's sink, in enclosure order — the same fold at every
+// shard count, so the export is byte-identical at any Shards value.
+func (r *rackSim) finishObs(clients int) {
+	if !r.recording {
+		return
+	}
+	r.global.Count("des.events", int64(r.eng.Fired()))
+	r.global.Count("trial.clients", int64(clients))
+	parts := make([]*obs.Sink, 0, len(r.encs)+1)
+	for _, enc := range r.encs {
+		parts = append(parts, enc.sink)
+	}
+	parts = append(parts, r.global)
+	r.opt.Obs.(*obs.Sink).MergeFrom(parts...)
+}
+
+// simulateRack dispatches a Topology run. The generator must be
+// stateless: clients on different shards sample it concurrently.
+func (c Config) simulateRack(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	if !workload.IsStateless(gen) {
+		return Result{}, fmt.Errorf("cluster: the sharded rack model samples the generator concurrently across shards and needs workload.IsStateless; %T is stateful", gen)
+	}
+	if obs.On(opt.Obs) {
+		if _, ok := opt.Obs.(*obs.Sink); !ok {
+			return Result{}, fmt.Errorf("cluster: rack runs record into per-enclosure sinks folded after the run, so Obs must be a *obs.Sink, got %T", opt.Obs)
+		}
+	}
+	if p.Batch {
+		return c.rackBatch(gen, p, opt)
+	}
+	return c.rackInteractive(gen, p, opt)
+}
+
+func (c Config) rackInteractive(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	r, err := buildRack(c, gen, p, opt, obs.On(opt.Obs))
+	if err != nil {
+		return Result{}, err
+	}
+	r.setupInteractive()
+	r.eng.Run(des.Time(opt.WarmupSec + opt.MeasureSec))
+
+	hist := stats.NewLatencyHistogram()
+	completed := 0
+	for _, enc := range r.encs {
+		hist.Merge(enc.hist)
+		completed += enc.completed
+	}
+	clients := len(r.boards) * r.topo.ClientsPerBoard
+	util := r.utilization(opt.MeasureSec)
+	p95 := hist.Quantile(p.QoSPercentile)
+	out := Result{
+		Throughput:  float64(completed) / opt.MeasureSec,
+		Perf:        float64(completed) / opt.MeasureSec,
+		MeanLatency: hist.Mean(),
+		P95Latency:  p95,
+		Bottleneck:  bottleneckOf(util),
+		Utilization: util,
+		Clients:     clients,
+	}
+	if p.QoSLatencySec > 0 {
+		out.QoSMet = p95 <= p.QoSLatencySec && hist.Count() > 0
+	} else {
+		out.QoSMet = true
+	}
+	r.finishObs(clients)
+	if r.opt.ShardDiag != nil {
+		r.eng.EmitDiagnostics(r.opt.ShardDiag)
+	}
+	return out, nil
+}
+
+// rackBatch runs the job twice when recording: an uninstrumented pass
+// that runs the cluster dry to find the completion time (probes would
+// keep rescheduling forever against an open horizon), then an
+// instrumented replay to exactly that horizon — same seeds, identical
+// trajectory — so timelines cover the whole job.
+func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	r, err := buildRack(c, gen, p, opt, false)
+	if err != nil {
+		return Result{}, err
+	}
+	slots := r.setupBatch()
+	r.eng.Run(des.Time(math.Inf(1)))
+	if r.aggDone != p.JobRequests {
+		return Result{}, fmt.Errorf("cluster: rack batch job stalled at %d/%d chunks", r.aggDone, p.JobRequests)
+	}
+	exec := float64(r.aggFinish)
+
+	measured := r
+	if obs.On(opt.Obs) {
+		r2, err := buildRack(c, gen, p, opt, true)
+		if err != nil {
+			return Result{}, err
+		}
+		r2.setupBatch()
+		r2.eng.Run(r.aggFinish)
+		if r2.aggDone != r.aggDone || r2.aggFinish != r.aggFinish {
+			return Result{}, fmt.Errorf("cluster: instrumented rack replay diverged: %d/%d chunks at %v vs %v",
+				r2.aggDone, r.aggDone, r2.aggFinish, r.aggFinish)
+		}
+		measured = r2
+	}
+	clients := slots * len(r.boards)
+	measured.finishObs(clients)
+	if opt.ShardDiag != nil {
+		measured.eng.EmitDiagnostics(opt.ShardDiag)
+	}
+	util := measured.utilization(exec)
+	return Result{
+		Throughput:  float64(p.JobRequests) / exec,
+		Perf:        1 / exec,
+		QoSMet:      true,
+		ExecTime:    exec,
+		Bottleneck:  bottleneckOf(util),
+		Utilization: util,
+		Clients:     clients,
+	}, nil
+}

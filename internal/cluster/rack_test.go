@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"warehousesim/internal/obs"
+	"warehousesim/internal/platform"
+	"warehousesim/internal/stats"
+	"warehousesim/internal/workload"
+)
+
+func rackTopology(shards int) *ShardedTopology {
+	return &ShardedTopology{Enclosures: 4, BoardsPerEnclosure: 2, ClientsPerBoard: 2, Shards: shards}
+}
+
+func rackOptions(shards int, rec obs.Recorder) SimOptions {
+	return SimOptions{
+		Seed: 7, WarmupSec: 2, MeasureSec: 10, MaxClients: 64,
+		Obs: rec, ProbeIntervalSec: 0.5, TraceEvery: 50,
+		Topology: rackTopology(shards),
+	}
+}
+
+// rackRun simulates the reference rack at the given shard count and
+// returns the Result plus the recorded export bytes.
+func rackRun(t *testing.T, p workload.Profile, shards int) (Result, []byte) {
+	t.Helper()
+	cfg := Config{Server: platform.Desk(), MemSlowdown: 0.05}
+	sink := obs.NewSink()
+	res, err := cfg.Simulate(workload.FixedGenerator{P: p}, rackOptions(shards, sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestRackShardInvarianceInteractive is the acceptance gate of the
+// sharded kernel: the same interactive rack run must produce
+// DeepEqual Results and byte-identical obs exports at every legal
+// shard count.
+func TestRackShardInvarianceInteractive(t *testing.T) {
+	p := testProfile()
+	ref, refExport := rackRun(t, p, 1)
+	if ref.Throughput <= 0 || ref.Clients != 4*2*2 {
+		t.Fatalf("degenerate reference result: %+v", ref)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		res, export := rackRun(t, p, shards)
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("shards=%d result differs:\n  1: %+v\n  %d: %+v", shards, ref, shards, res)
+		}
+		if !bytes.Equal(refExport, export) {
+			t.Errorf("shards=%d export differs from shards=1 (%d vs %d bytes)",
+				shards, len(refExport), len(export))
+		}
+	}
+}
+
+// TestRackShardInvarianceBatch: the mapreduce job — with its
+// cross-enclosure shuffle and shard-0 aggregator — must likewise be
+// partition-independent, including the recorded replay.
+func TestRackShardInvarianceBatch(t *testing.T) {
+	p := batchProfile()
+	p.JobRequests = 300
+	ref, refExport := rackRun(t, p, 1)
+	if ref.ExecTime <= 0 {
+		t.Fatalf("degenerate reference result: %+v", ref)
+	}
+	for _, shards := range []int{2, 4} {
+		res, export := rackRun(t, p, shards)
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("shards=%d result differs:\n  1: %+v\n  %d: %+v", shards, ref, shards, res)
+		}
+		if !bytes.Equal(refExport, export) {
+			t.Errorf("shards=%d export differs from shards=1 (%d vs %d bytes)",
+				shards, len(refExport), len(export))
+		}
+	}
+}
+
+// TestRackObsDoesNotChangeResult: recording a rack run must leave the
+// reported numbers untouched, same as the flat model.
+func TestRackObsDoesNotChangeResult(t *testing.T) {
+	cfg := Config{Server: platform.Desk(), MemSlowdown: 0.05}
+	gen := workload.FixedGenerator{P: testProfile()}
+	plain, err := cfg.Simulate(gen, rackOptions(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := cfg.Simulate(gen, rackOptions(2, obs.NewSink()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != probed.Throughput || plain.MeanLatency != probed.MeanLatency ||
+		plain.P95Latency != probed.P95Latency || plain.Clients != probed.Clients {
+		t.Fatalf("obs changed the rack result:\nplain  %+v\nprobed %+v", plain, probed)
+	}
+}
+
+// TestRackShardDiag: engine diagnostics land in ShardDiag, not in the
+// byte-compared export.
+func TestRackShardDiag(t *testing.T) {
+	cfg := Config{Server: platform.Desk()}
+	diag := obs.NewSink()
+	opt := rackOptions(4, nil)
+	opt.ShardDiag = diag
+	if _, err := cfg.Simulate(workload.FixedGenerator{P: testProfile()}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if diag.CounterValue("shard.windows.s0") == 0 {
+		t.Fatal("no shard.windows diagnostic recorded")
+	}
+	if diag.CounterValue("shard.fired.s0") == 0 {
+		t.Fatal("no shard.fired diagnostic recorded")
+	}
+}
+
+// TestRackSingleEnclosure: the degenerate one-enclosure rack still runs
+// (Shards clamps to 1) and zero think time — the tightest event cadence
+// the model produces — does not deadlock the exchange.
+func TestRackSingleEnclosure(t *testing.T) {
+	p := testProfile()
+	p.ThinkTimeSec = 0
+	cfg := Config{Server: platform.Desk()}
+	opt := rackOptions(8, nil)
+	opt.Topology = &ShardedTopology{Enclosures: 1, BoardsPerEnclosure: 2, ClientsPerBoard: 1, Shards: 8}
+	res, err := cfg.Simulate(workload.FixedGenerator{P: p}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+// statefulGen lacks the Stateless marker — stands in for the engine
+// generators the rack model must refuse.
+type statefulGen struct{ p workload.Profile }
+
+func (g statefulGen) Profile() workload.Profile          { return g.p }
+func (g statefulGen) Sample(*stats.RNG) workload.Request { return g.p.MeanRequest() }
+
+// TestRackRejectsStatefulGenerator: rack runs sample the generator
+// concurrently across shards and must refuse stateful ones.
+func TestRackRejectsStatefulGenerator(t *testing.T) {
+	cfg := Config{Server: platform.Desk()}
+	if _, err := cfg.Simulate(statefulGen{p: testProfile()}, rackOptions(2, nil)); err == nil {
+		t.Fatal("stateful generator accepted by rack model")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	o := SimOptions{Seed: 1, WarmupSec: 1, MeasureSec: 10, MaxClients: 8}
+	n, err := o.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ProbeIntervalSec != 1 || n.Parallelism != 1 {
+		t.Fatalf("defaults not applied: %+v", n)
+	}
+	o.Topology = &ShardedTopology{Enclosures: 4, BoardsPerEnclosure: 1, Shards: 9}
+	n, err = o.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Topology.Shards != 4 || n.Topology.ClientsPerBoard != 4 || n.Topology.SANDisks != 4 {
+		t.Fatalf("topology defaults not applied: %+v", *n.Topology)
+	}
+	if o.Topology.Shards != 9 {
+		t.Fatal("Normalize mutated the caller's topology")
+	}
+}
+
+func TestNormalizeRejectsBadTopology(t *testing.T) {
+	for _, topo := range []ShardedTopology{
+		{Enclosures: 0, BoardsPerEnclosure: 1},
+		{Enclosures: 1, BoardsPerEnclosure: 0},
+		{Enclosures: 1, BoardsPerEnclosure: 1, ClientsPerBoard: -1},
+		{Enclosures: 1, BoardsPerEnclosure: 1, SANDisks: -2},
+	} {
+		topo := topo
+		o := SimOptions{Seed: 1, WarmupSec: 1, MeasureSec: 10, MaxClients: 8, Topology: &topo}
+		if _, err := o.Normalize(); err == nil {
+			t.Errorf("topology %+v accepted", topo)
+		}
+	}
+}

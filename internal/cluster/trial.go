@@ -275,7 +275,7 @@ func (t *trialCtx) run(gen workload.Generator, p workload.Profile, nClients int,
 
 	var probes *des.Probes
 	if t.recording {
-		probes = des.NewProbes(t.sim, rec, opt.probeInterval())
+		probes = des.NewProbes(t.sim, rec, des.Time(opt.ProbeIntervalSec))
 		probes.Watch(t.srv.cpu, t.srv.disk, t.srv.net)
 		probes.OnTick = opt.OnProbeTick
 		probes.Start()

@@ -1,0 +1,159 @@
+// Package cliflags centralizes the flag wiring the cmd/* mains share:
+// pprof profile capture, obs recording/export, worker parallelism, the
+// live-introspection HTTP endpoint, and the sharded-rack topology. Each
+// Add* helper registers its flags on a caller-supplied FlagSet (the
+// mains pass flag.CommandLine) and returns a handle whose methods apply
+// the conventions that every tool previously re-implemented by hand —
+// "-obs-out implies -obs", "-par must be >= 1", "-shards picks the rack
+// model" — so the five binaries cannot drift apart on them.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"warehousesim/internal/cluster"
+	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/introspect"
+)
+
+// Profiles is the -cpuprofile/-memprofile pair.
+type Profiles struct {
+	cpu, mem *string
+}
+
+// AddProfiles registers the pprof capture flags.
+func AddProfiles(fs *flag.FlagSet) *Profiles {
+	return &Profiles{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile to this file"),
+	}
+}
+
+// Start begins the requested captures; the returned stop must run at
+// exit (it finishes the CPU profile and writes the heap snapshot).
+func (p *Profiles) Start() (stop func() error, err error) {
+	return obs.StartProfiles(*p.cpu, *p.mem)
+}
+
+// Obs is the -obs/-obs-out pair.
+type Obs struct {
+	on         *bool
+	out        *string
+	defaultOut string
+}
+
+// AddObs registers the recording flags. what finishes the -obs usage
+// sentence ("record <what>"); defaultOut is the export path used when
+// -obs is set without -obs-out.
+func AddObs(fs *flag.FlagSet, what, defaultOut string) *Obs {
+	return &Obs{
+		on: fs.Bool("obs", false, "record "+what),
+		out: fs.String("obs-out", "",
+			"write the obs export here (.csv for CSV, else JSONL; implies -obs; default "+defaultOut+")"),
+		defaultOut: defaultOut,
+	}
+}
+
+// Enabled applies the "-obs-out implies -obs" convention and reports
+// whether recording was requested. Call after flag parsing.
+func (o *Obs) Enabled() bool {
+	return *o.on || *o.out != ""
+}
+
+// Path resolves the export destination.
+func (o *Obs) Path() string {
+	if *o.out != "" {
+		return *o.out
+	}
+	return o.defaultOut
+}
+
+// Par is the -par worker-count flag.
+type Par struct {
+	n *int
+}
+
+// AddPar registers -par with the given default and usage.
+func AddPar(fs *flag.FlagSet, def int, usage string) *Par {
+	return &Par{n: fs.Int("par", def, usage)}
+}
+
+// Value validates and returns the worker count.
+func (p *Par) Value() (int, error) {
+	if *p.n < 1 {
+		return 0, fmt.Errorf("-par must be >= 1, got %d", *p.n)
+	}
+	return *p.n, nil
+}
+
+// HTTP is the -http live-introspection flag.
+type HTTP struct {
+	addr *string
+}
+
+// AddHTTP registers -http. snapshot describes what the /obs endpoint
+// serves for this tool (e.g. "/obs snapshot with per-experiment
+// progress").
+func AddHTTP(fs *flag.FlagSet, snapshot string) *HTTP {
+	return &HTTP{addr: fs.String("http", "",
+		"serve live introspection ("+snapshot+", /debug/pprof) on this address, e.g. :6060")}
+}
+
+// Serve starts the introspection server when -http was given; it
+// returns (nil, "", nil) otherwise. The server runs for the process
+// lifetime; bound is the resolved listen address for logging.
+func (h *HTTP) Serve() (srv *introspect.Server, bound string, err error) {
+	if *h.addr == "" {
+		return nil, "", nil
+	}
+	srv = introspect.New()
+	bound, _, err = srv.Serve(*h.addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// Sharding is the rack-topology flag group: -shards selects the sharded
+// multi-enclosure model (0 keeps the flat single-server model), with
+// -enclosures/-boards/-clients-per-board sizing the rack and
+// -shard-diag exporting the engine's synchronization diagnostics.
+type Sharding struct {
+	shards, enclosures, boards, clients *int
+	diagOut                             *string
+}
+
+// AddSharding registers the rack flags.
+func AddSharding(fs *flag.FlagSet) *Sharding {
+	return &Sharding{
+		shards: fs.Int("shards", 0,
+			"run the sharded multi-enclosure rack model with this many event heaps (0 = flat single-server model; results are identical at every value >= 1)"),
+		enclosures: fs.Int("enclosures", 4, "rack enclosures (with -shards)"),
+		boards:     fs.Int("boards", 4, "server boards per enclosure (with -shards)"),
+		clients: fs.Int("clients-per-board", 0,
+			"closed-loop clients per board for interactive rack runs (0 = default provisioning; with -shards)"),
+		diagOut: fs.String("shard-diag", "",
+			"write the shard engine's scheduling-dependent diagnostics (clock skew, mailbox depth) here as JSONL (with -shards)"),
+	}
+}
+
+// Enabled reports whether the rack model was selected.
+func (s *Sharding) Enabled() bool { return *s.shards > 0 }
+
+// Topology builds the cluster topology, nil when -shards was not given.
+// Validation happens in SimOptions.Normalize.
+func (s *Sharding) Topology() *cluster.ShardedTopology {
+	if !s.Enabled() {
+		return nil
+	}
+	return &cluster.ShardedTopology{
+		Enclosures:         *s.enclosures,
+		BoardsPerEnclosure: *s.boards,
+		ClientsPerBoard:    *s.clients,
+		Shards:             *s.shards,
+	}
+}
+
+// DiagOut returns the -shard-diag path ("" when unset).
+func (s *Sharding) DiagOut() string { return *s.diagOut }

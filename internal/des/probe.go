@@ -35,6 +35,14 @@ type Probes struct {
 	// must never schedule events or sample randomness — the same
 	// observe-don't-perturb contract the recorder obeys.
 	OnTick func(now float64)
+
+	// OmitKernel suppresses the kernel-wide gauges (des.heap_depth,
+	// des.events_per_sec), keeping only the per-resource series. The
+	// sharded rack model sets it: heap depth and event rate are
+	// per-shard quantities that depend on the partitioning, so they
+	// would break the partition-independent export that the shards-1
+	// vs shards-N byte-equivalence gate compares. Set before Start.
+	OmitKernel bool
 }
 
 type watchedResource struct {
@@ -87,10 +95,12 @@ func (p *Probes) tick() {
 	now := float64(p.sim.Now())
 	dt := float64(p.interval)
 
-	p.rec.Gauge("des.heap_depth", now, float64(p.sim.Pending()))
-	fired := p.sim.Fired()
-	p.rec.Gauge("des.events_per_sec", now, float64(fired-p.lastFired)/dt)
-	p.lastFired = fired
+	if !p.OmitKernel {
+		p.rec.Gauge("des.heap_depth", now, float64(p.sim.Pending()))
+		fired := p.sim.Fired()
+		p.rec.Gauge("des.events_per_sec", now, float64(fired-p.lastFired)/dt)
+		p.lastFired = fired
+	}
 
 	for i := range p.watched {
 		w := &p.watched[i]

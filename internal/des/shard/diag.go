@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"fmt"
+
+	"warehousesim/internal/obs"
+)
+
+// EmitDiagnostics writes the per-shard synchronization diagnostics
+// into rec after Run has returned: clock-skew and mailbox-depth time
+// series (sampled every diagSampleStride windows, T = committed
+// simulated time) plus per-shard summary counters.
+//
+// These values measure the engine, not the model — skew and depth
+// depend on goroutine scheduling and change run to run — so they go
+// into a separate diagnostics sink, never into the deterministic
+// export that the shards-1-vs-N byte equivalence gate compares.
+func (e *Engine) EmitDiagnostics(rec obs.Recorder) {
+	if !obs.On(rec) {
+		return
+	}
+	for _, s := range e.shards {
+		tag := fmt.Sprintf("s%d", s.id)
+		rec.Count("shard.windows."+tag, s.stats.Windows)
+		rec.Count("shard.msgs_sent."+tag, s.stats.MsgsSent)
+		rec.Count("shard.msgs_recv."+tag, s.stats.MsgsRecv)
+		rec.Count("shard.fired."+tag, int64(s.Sim.Fired()))
+		for _, p := range s.skewSamples {
+			rec.Gauge("shard.clock_skew."+tag, p.t, p.v)
+		}
+		for _, p := range s.depthSamples {
+			rec.Gauge("shard.mailbox_depth."+tag, p.t, p.v)
+		}
+	}
+}

@@ -1,0 +1,562 @@
+// Package shard partitions one simulated cluster across several
+// event heaps — one des.Sim per shard, each with its own clock — and
+// synchronizes them conservatively so that N shards on N goroutines
+// produce byte-identical results to one shard on one goroutine.
+//
+// Synchronization is a conservative bounded-lag window protocol
+// (YAWNS-style) driven by null messages. Every cross-entity
+// interaction goes through Post, which requires a delay of at least
+// the engine lookahead L (the minimum cross-shard latency: NIC
+// serialization plus a fabric hop, see internal/fabric). Shards run in
+// lockstep rounds: each round, every shard sends every peer one batch
+// through a bounded channel mailbox — the staged cross-shard messages
+// of the window it just executed, plus its earliest output time (EOT:
+// the earliest local event, undelivered arrival, or staged send it
+// still knows about). An empty batch is a pure null message. Each
+// shard then reduces E = min over all EOTs; since any new send must
+// happen at an event time >= E, nothing can arrive anywhere before
+// E + L, and the window [committed, E+L) is safe to execute without
+// further communication. Windows therefore jump directly to the next
+// real event plus L — the classic null-message creep of asynchronous
+// Chandy-Misra (promises inching forward L at a time around topology
+// cycles) cannot happen, because EOTs carry absolute event times, not
+// incrementally-raised frontiers.
+//
+// Determinism does not come from the partitioning — it comes from the
+// exchange discipline, which is identical at every shard count:
+//
+//   - Each posted message carries the key (arrive, src, per-src seq).
+//     Messages with equal arrival times are delivered in key order, so
+//     ordering never depends on which shard the sender lived on.
+//   - A message moves into the destination heap exactly when the
+//     destination's next local event time has reached its arrival time
+//     (the advance loop interleaves delivery and execution at event
+//     granularity), so heap seq assignment — the kernel's FIFO
+//     tie-break — is a pure function of simulated time, not of the
+//     partitioning or of goroutine interleaving.
+//   - Entities may share state directly (a memory blade, a board's
+//     resources) only when they are co-resident on every legal
+//     partitioning; all other traffic — blade swaps, SAN disk I/O,
+//     shuffle chunks — must use Post.
+//
+// Why conservative and not optimistic: the kernel pools event records
+// and models mutate shared resources in place, so rollback would need
+// full state checkpointing; with lookahead floors in the hundreds of
+// microseconds against sub-microsecond event spacing, conservative
+// windows already batch thousands of events per synchronization round.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"warehousesim/internal/des"
+)
+
+// EntityID names one simulated entity (a board, a memory blade, the
+// SAN array, a job aggregator). IDs are global — assigned by the model
+// from a single dense namespace — so per-entity send sequence numbers
+// are independent of the partitioning.
+type EntityID int32
+
+// Config sizes an Engine.
+type Config struct {
+	// Shards is the number of partitions (>= 1). One shard runs inline
+	// on the caller's goroutine and is exactly the single-heap kernel.
+	Shards int
+	// Entities is the size of the entity namespace; Post panics on IDs
+	// outside [0, Entities).
+	Entities int
+	// Lookahead is the minimum cross-entity delay L. Post rejects
+	// smaller delays; synchronization windows are derived from it. Must
+	// be > 0 when Shards > 1 — a conservative engine has no safe window
+	// at zero lookahead (see NewEngine).
+	Lookahead des.Time
+	// MailboxCap bounds each cross-shard channel in batches. The
+	// lockstep protocol puts at most one batch in flight per channel
+	// per round, so 0 defaults to DefaultMailboxCap purely as slack.
+	MailboxCap int
+}
+
+// DefaultMailboxCap is the default bound of one cross-shard mailbox.
+const DefaultMailboxCap = 4
+
+// diagSampleStride is how many committed windows pass between
+// diagnostic samples (clock skew, mailbox depth). Diagnostics depend
+// on goroutine scheduling and are deliberately kept out of the
+// deterministic export path; see EmitDiagnostics.
+const diagSampleStride = 64
+
+var infTime = des.Time(math.Inf(1))
+
+// message is one cross-entity event in flight. The (arrive, src, seq)
+// triple is the canonical delivery order.
+type message struct {
+	arrive des.Time
+	src    EntityID
+	seq    uint64
+	act    des.Action
+}
+
+func msgLess(a, b message) bool {
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// msgHeap is a hand-rolled binary heap of messages ordered by
+// (arrive, src, seq). container/heap would box every message through
+// an interface on the pop path; this keeps delivery allocation-free.
+type msgHeap []message
+
+func (h *msgHeap) push(m message) {
+	*h = append(*h, m)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *msgHeap) pop() message {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = message{} // drop the action so the backing array retains no closures
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && msgLess(q[l], q[small]) {
+			small = l
+		}
+		if r < n && msgLess(q[r], q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
+
+// batch is what travels through a mailbox once per round: zero or more
+// messages (an empty batch is a null message) plus the sender's
+// earliest output time and stop vote.
+type batch struct {
+	eot  des.Time
+	stop bool
+	msgs []message
+}
+
+// peer is one outbound link: the staging buffer filled by Post and the
+// channel it is flushed into at round boundaries.
+type peer struct {
+	shard int
+	ch    chan batch
+	stage []message
+}
+
+// Stats summarizes one shard's run for diagnostics. Everything here
+// except Fired (horizon runs only) depends on scheduling and must
+// never feed the deterministic export path.
+type Stats struct {
+	Shard           int
+	Windows         int64   // synchronization rounds committed
+	MsgsSent        int64   // cross-shard messages staged
+	MsgsRecv        int64   // cross-shard messages received
+	Fired           uint64  // events executed by this shard's Sim
+	MaxPendingDepth int     // high-water mark of undelivered messages
+	MaxBatchMsgs    int     // largest single mailbox batch received, in messages
+	MaxSkewSec      float64 // max lead of this shard's clock over the slowest peer
+}
+
+// sample is one diagnostic point (t = committed simulated time).
+type sample struct{ t, v float64 }
+
+// Shard is one partition: a private des.Sim plus the exchange state.
+// All methods must be called from the shard's own goroutine (model
+// actions run there).
+type Shard struct {
+	eng *Engine
+	id  int
+	// Sim is the shard's private event heap and clock. Models schedule
+	// entity-local continuations on it directly; cross-entity traffic
+	// must go through Post.
+	Sim *des.Sim
+
+	committed des.Time
+	pending   msgHeap // received but not yet delivered messages
+	in        []chan batch
+	peers     []*peer
+	peerBy    []*peer // indexed by destination shard id, nil for self
+	stagedMin des.Time
+
+	clockBits atomic.Uint64 // Float64bits(Sim clock at last flush), for peer skew reads
+
+	stats        Stats
+	winSinceSamp int64
+	depthSinceS  int
+	skewSamples  []sample
+	depthSamples []sample
+}
+
+// Engine coordinates the shards of one run.
+type Engine struct {
+	cfg     Config
+	shards  []*Shard
+	owner   []int32
+	seqs    []uint64 // per-entity send sequence, written only by the owning shard
+	stopped atomic.Bool
+	ran     bool
+}
+
+// NewEngine builds an engine. It rejects Lookahead <= 0 (or NaN) when
+// Shards > 1: the conservative window is [committed, E+lookahead), so
+// at zero lookahead no shard could ever prove any event safe and the
+// engine would deadlock by construction.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Entities < 1 {
+		return nil, fmt.Errorf("shard: Entities must be >= 1, got %d", cfg.Entities)
+	}
+	la := float64(cfg.Lookahead)
+	if math.IsNaN(la) || la < 0 {
+		return nil, fmt.Errorf("shard: invalid lookahead %v", cfg.Lookahead)
+	}
+	if cfg.Shards > 1 && la <= 0 {
+		return nil, fmt.Errorf("shard: lookahead must be > 0 with %d shards: a conservative engine cannot form a synchronization window at zero lookahead", cfg.Shards)
+	}
+	if cfg.MailboxCap <= 0 {
+		cfg.MailboxCap = DefaultMailboxCap
+	}
+	e := &Engine{
+		cfg:   cfg,
+		owner: make([]int32, cfg.Entities),
+		seqs:  make([]uint64, cfg.Entities),
+	}
+	e.shards = make([]*Shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &Shard{eng: e, id: i, Sim: des.NewSim(), stagedMin: infTime}
+		e.shards[i].stats.Shard = i
+	}
+	// Full mesh of bounded mailboxes: every ordered pair gets one
+	// channel, so EOT null messages flow even between shards that never
+	// exchange model traffic.
+	for _, src := range e.shards {
+		src.peerBy = make([]*peer, cfg.Shards)
+		for _, dst := range e.shards {
+			if src == dst {
+				continue
+			}
+			p := &peer{shard: dst.id, ch: make(chan batch, cfg.MailboxCap)}
+			src.peers = append(src.peers, p)
+			src.peerBy[dst.id] = p
+			dst.in = append(dst.in, p.ch)
+		}
+	}
+	return e, nil
+}
+
+// Shards returns the partition count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns partition i.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Lookahead returns the configured minimum cross-entity delay.
+func (e *Engine) Lookahead() des.Time { return e.cfg.Lookahead }
+
+// Assign places an entity on a shard. All entities start on shard 0;
+// assignment must happen before Run.
+func (e *Engine) Assign(ent EntityID, shard int) {
+	if e.ran {
+		panic("shard: Assign after Run")
+	}
+	if int(ent) < 0 || int(ent) >= len(e.owner) {
+		panic(fmt.Sprintf("shard: entity %d outside [0,%d)", ent, len(e.owner)))
+	}
+	if shard < 0 || shard >= len(e.shards) {
+		panic(fmt.Sprintf("shard: shard %d outside [0,%d)", shard, len(e.shards)))
+	}
+	e.owner[ent] = int32(shard)
+}
+
+// ShardOf returns the shard an entity is assigned to.
+func (e *Engine) ShardOf(ent EntityID) int { return int(e.owner[ent]) }
+
+// Stop asks every shard to halt; the stop vote rides the next round's
+// null messages so all shards break at the same round boundary. Used
+// by batch models once the job's completion time is known; results may
+// only depend on events at or before the stop cause (everything
+// earlier is guaranteed to have executed by the conservative
+// invariant).
+func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped.Load() }
+
+// Fired returns the total events executed across all shards. Only
+// deterministic when the run ended at its horizon or ran dry (not by
+// Stop).
+func (e *Engine) Fired() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.Sim.Fired()
+	}
+	return n
+}
+
+// ShardStats returns per-shard diagnostics. Call after Run returns.
+func (e *Engine) ShardStats() []Stats {
+	out := make([]Stats, len(e.shards))
+	for i, s := range e.shards {
+		s.stats.Fired = s.Sim.Fired()
+		out[i] = s.stats
+	}
+	return out
+}
+
+// Run executes the simulation to the inclusive horizon (events exactly
+// at until still fire, matching des.Sim.Run) and returns when every
+// shard has finished — at the horizon, when the whole cluster runs out
+// of events (a batch job completing), or at the round after Stop. One
+// shard runs inline on the caller's goroutine; more run one goroutine
+// each. Run may be called once per Engine.
+func (e *Engine) Run(until des.Time) {
+	if e.ran {
+		panic("shard: Engine.Run called twice")
+	}
+	e.ran = true
+	if len(e.shards) == 1 {
+		e.shards[0].runSingle(until)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			s.run(until)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Now returns the shard's current simulated time.
+func (s *Shard) Now() des.Time { return s.Sim.Now() }
+
+// Post sends a cross-entity event: act runs on dst's shard at
+// Now()+delay. delay must be >= the engine lookahead — that floor is
+// what makes conservative windows safe — and src must be owned by this
+// shard. Same-time deliveries are ordered by (src, per-src seq), which
+// is independent of the partitioning.
+func (s *Shard) Post(src, dst EntityID, delay des.Time, act des.Action) {
+	e := s.eng
+	if int(src) < 0 || int(src) >= len(e.owner) || int(dst) < 0 || int(dst) >= len(e.owner) {
+		panic(fmt.Sprintf("shard: Post %d->%d outside entity namespace [0,%d)", src, dst, len(e.owner)))
+	}
+	if e.owner[src] != int32(s.id) {
+		panic(fmt.Sprintf("shard: Post from entity %d owned by shard %d, not %d", src, e.owner[src], s.id))
+	}
+	if math.IsNaN(float64(delay)) || delay < e.cfg.Lookahead {
+		panic(fmt.Sprintf("shard: cross-entity delay %v below lookahead %v at t=%v", delay, e.cfg.Lookahead, s.Sim.Now()))
+	}
+	m := message{arrive: s.Sim.Now() + delay, src: src, seq: e.seqs[src], act: act}
+	e.seqs[src]++
+	dst32 := e.owner[dst]
+	if int(dst32) == s.id {
+		s.pushPending(m)
+		return
+	}
+	p := s.peerBy[dst32]
+	p.stage = append(p.stage, m)
+	if m.arrive < s.stagedMin {
+		s.stagedMin = m.arrive
+	}
+	s.stats.MsgsSent++
+}
+
+func (s *Shard) pushPending(m message) {
+	s.pending.push(m)
+	if d := len(s.pending); d > s.stats.MaxPendingDepth {
+		s.stats.MaxPendingDepth = d
+	}
+}
+
+// eot is the shard's earliest output time: the earliest event it could
+// still execute (local heap or undelivered arrival) or has already
+// staged for a peer. Any future send happens at an event time >= eot,
+// so nothing from this shard can arrive anywhere before eot+lookahead.
+func (s *Shard) eot() des.Time {
+	e := infTime
+	if t, ok := s.Sim.PeekNext(); ok {
+		e = t
+	}
+	if len(s.pending) > 0 && s.pending[0].arrive < e {
+		e = s.pending[0].arrive
+	}
+	if s.stagedMin < e {
+		e = s.stagedMin
+	}
+	return e
+}
+
+// run is one shard's side of the lockstep round protocol:
+//
+//	flush {staged msgs, EOT, stop vote} to every peer
+//	receive one batch from every peer; E = min over all EOTs
+//	stop, run dry (E = +Inf), or execute the window [committed, E+L)
+//
+// Every shard computes the same E from the same N values, so all
+// shards take the final/dry/stop exits in the same round: nobody is
+// left blocking on a mailbox, which is the protocol's deadlock-freedom
+// argument (each round sends all batches before receiving any, and a
+// mailbox holds at most one in-flight batch per round).
+func (s *Shard) run(until des.Time) {
+	la := s.eng.cfg.Lookahead
+	for {
+		myEOT := s.eot()
+		myStop := s.eng.stopped.Load()
+		for _, p := range s.peers {
+			p.ch <- batch{eot: myEOT, stop: myStop, msgs: p.stage}
+			p.stage = nil
+		}
+		s.stagedMin = infTime
+		s.clockBits.Store(math.Float64bits(float64(s.Sim.Now())))
+		e, stop := myEOT, myStop
+		for _, ch := range s.in {
+			b := <-ch
+			if b.eot < e {
+				e = b.eot
+			}
+			stop = stop || b.stop
+			if n := len(b.msgs); n > s.stats.MaxBatchMsgs {
+				s.stats.MaxBatchMsgs = n
+			}
+			for _, m := range b.msgs {
+				s.pushPending(m)
+				s.stats.MsgsRecv++
+			}
+		}
+		if stop {
+			return
+		}
+		if math.IsInf(float64(e), 1) {
+			return // the whole cluster ran dry
+		}
+		if e+la > until {
+			// The remaining window covers the horizon: finish
+			// inclusively. Sends staged here would arrive past the
+			// horizon, so no further exchange is needed.
+			s.advance(until, true)
+			return
+		}
+		w := e + la
+		s.advance(w, false)
+		s.committed = w
+		s.stats.Windows++
+		s.noteWindow()
+	}
+}
+
+// runSingle is the one-shard fast path: no rounds, no channels — the
+// advance loop with the same delivery rule, which is exactly the
+// single-heap kernel.
+func (s *Shard) runSingle(until des.Time) {
+	s.advance(until, true)
+}
+
+// advance interleaves message delivery and event execution at event
+// granularity up to target. Non-final windows are exclusive (events
+// and deliveries strictly before target — arrivals exactly at the
+// window edge may still gain same-time company from the next round),
+// the final window is inclusive to match des.Sim.Run horizon
+// semantics.
+func (s *Shard) advance(target des.Time, final bool) {
+	stopCheck := 0
+	for {
+		if stopCheck++; stopCheck&0x3ff == 0 && s.eng.stopped.Load() {
+			return
+		}
+		na, hasNa := s.Sim.PeekNext()
+		if len(s.pending) > 0 {
+			ma := s.pending[0].arrive
+			if (ma < target || (final && ma == target)) && (!hasNa || ma <= na) {
+				s.deliverAt(ma)
+				continue
+			}
+		}
+		if hasNa && (na < target || (final && na == target)) {
+			s.Sim.RunNext()
+			continue
+		}
+		break
+	}
+	if final && !math.IsInf(float64(target), 1) {
+		s.Sim.Run(target) // nothing left to fire; advances the clock to the horizon
+	}
+}
+
+// deliverAt moves every pending message arriving exactly at t into the
+// local heap. The pending heap yields them in (src, seq) order, and
+// all possible senders for time t have already executed (their events
+// ran at t-lookahead or earlier), so the batch is complete and
+// canonically ordered at any shard count.
+func (s *Shard) deliverAt(t des.Time) {
+	for len(s.pending) > 0 && s.pending[0].arrive == t {
+		m := s.pending.pop()
+		s.Sim.ScheduleAt(m.arrive, m.act)
+	}
+}
+
+// noteWindow records clock-skew and mailbox-depth diagnostics every
+// diagSampleStride windows. The values depend on goroutine scheduling,
+// so they feed EmitDiagnostics, never the deterministic export.
+func (s *Shard) noteWindow() {
+	minClock := infTime
+	for _, p := range s.eng.shards {
+		if p == s {
+			continue
+		}
+		if c := des.Time(math.Float64frombits(p.clockBits.Load())); c < minClock {
+			minClock = c
+		}
+	}
+	if skew := float64(s.Sim.Now() - minClock); skew > s.stats.MaxSkewSec {
+		s.stats.MaxSkewSec = skew
+	}
+	if d := len(s.pending); d > s.depthSinceS {
+		s.depthSinceS = d
+	}
+	s.winSinceSamp++
+	if s.winSinceSamp < diagSampleStride {
+		return
+	}
+	s.winSinceSamp = 0
+	t := float64(s.committed)
+	s.skewSamples = append(s.skewSamples, sample{t: t, v: float64(s.Sim.Now() - minClock)})
+	s.depthSamples = append(s.depthSamples, sample{t: t, v: float64(s.depthSinceS)})
+	s.depthSinceS = 0
+}

@@ -155,3 +155,36 @@ func (p Plan) EffectiveServerGbps() float64 {
 	share := uplink / float64(p.DownlinksPerSwitch)
 	return math.Min(p.Config.ServerGbps, share)
 }
+
+// Latency model for the sharded DES kernel (internal/des/shard). The
+// conservative engine needs a lookahead: a hard lower bound on the
+// latency of any cross-enclosure interaction. Traffic between
+// enclosures crosses at least one store-and-forward edge switch hop
+// and must be serialized onto the sender's NIC, so the bound is the
+// serialization time of one transfer unit plus the switch hop latency.
+const (
+	// EdgeHopLatencySec is the store-and-forward latency of one
+	// commodity GbE edge-switch hop (forwarding plus minimal queuing
+	// floor). Deliberately conservative (low): the lookahead must be a
+	// true lower bound, never an average.
+	EdgeHopLatencySec = 2e-6
+
+	// CrossEnclosureUnitBytes is the minimum transfer unit of
+	// cross-enclosure traffic: one 4 KB page — the granularity of
+	// memory-blade swaps and of SAN block transfers.
+	CrossEnclosureUnitBytes = 4096
+)
+
+// CrossEnclosureLatencySec returns the minimum one-way latency of a
+// cross-enclosure transfer for a server with the given NIC bandwidth:
+// serializing one transfer unit onto the wire plus one edge-switch
+// hop. The sharded kernel uses it as the conservative lookahead, and
+// the rack model uses the same value as the explicit transport delay
+// of blade, SAN and shuffle messages — keeping model latency and
+// synchronization window derivation in one place.
+func CrossEnclosureLatencySec(nicBytesPerSec float64) float64 {
+	if nicBytesPerSec <= 0 {
+		return EdgeHopLatencySec
+	}
+	return CrossEnclosureUnitBytes/nicBytesPerSec + EdgeHopLatencySec
+}

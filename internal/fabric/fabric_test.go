@@ -142,3 +142,23 @@ func TestQuickDesignInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCrossEnclosureLatency(t *testing.T) {
+	// 1 GbE: 4096 B at 125 MB/s = 32.768 us, plus the 2 us hop.
+	got := CrossEnclosureLatencySec(125e6)
+	want := 4096.0/125e6 + EdgeHopLatencySec
+	if got != want {
+		t.Errorf("CrossEnclosureLatencySec(1GbE) = %g, want %g", got, want)
+	}
+	if got <= 0 {
+		t.Error("lookahead must be strictly positive")
+	}
+	// A faster NIC shrinks serialization but the hop floor remains.
+	if f := CrossEnclosureLatencySec(1.25e9); f <= EdgeHopLatencySec || f >= got {
+		t.Errorf("10GbE latency %g out of range (%g, %g)", f, EdgeHopLatencySec, got)
+	}
+	// Degenerate bandwidth falls back to the hop floor instead of Inf.
+	if f := CrossEnclosureLatencySec(0); f != EdgeHopLatencySec {
+		t.Errorf("zero-bandwidth fallback = %g, want %g", f, EdgeHopLatencySec)
+	}
+}

@@ -100,6 +100,18 @@ func NewTracer(rec obs.Recorder, every int64) *Tracer {
 	return &Tracer{rec: rec, every: every, open: map[int64]Span{}}
 }
 
+// NewTracerAt is NewTracer with an explicit ID base: the first span
+// gets base+1. Partitioned models (the sharded rack) give each part a
+// tracer with a disjoint base so span IDs stay unique — and identical
+// at every partitioning — after the parts are merged.
+func NewTracerAt(rec obs.Recorder, every, base int64) *Tracer {
+	t := NewTracer(rec, every)
+	if t != nil {
+		t.nextID = base
+	}
+	return t
+}
+
 // Enabled reports whether the tracer is recording.
 func (t *Tracer) Enabled() bool { return t != nil }
 

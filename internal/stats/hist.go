@@ -168,3 +168,24 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.maxSeen)
 	return b.String()
 }
+
+// Merge folds o's observations into h. Both histograms must share the
+// same bucket layout (min, growth, bucket count) — merging across
+// layouts would misbin counts, so it panics instead.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.min != o.min || h.growth != o.growth || len(h.buckets) != len(o.buckets) {
+		panic("stats: merging histograms with different bucket layouts")
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.under += o.under
+	if o.maxSeen > h.maxSeen {
+		h.maxSeen = o.maxSeen
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
