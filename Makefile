@@ -10,15 +10,21 @@
 #                     (non-zero exit when ns/op regresses past the
 #                     tolerance or B/op / allocs/op grow at all)
 #   make shard-diff — the shard-equivalence gate on its own
+#   make slo-diff   — the windowed-SLO equivalence gate: -slo-out must be
+#                     byte-identical (whole file) across shard and par counts
+#   make introspect-smoke — start whsim -http, assert /obs/windows and
+#                     /obs/shards serve their schemas
+#   make cover      — per-package coverage, with an 80% floor on
+#                     internal/obs/...
 
 GO ?= go
 N ?= 4
 BENCH_OLD ?= BENCH_3.json
 BENCH_NEW ?= BENCH_4.json
 
-.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff
+.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff slo-diff introspect-smoke cover
 
-check: vet build test-race fmt shard-diff
+check: vet build test-race fmt shard-diff slo-diff introspect-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +63,71 @@ shard-diff:
 		echo "shard-diff: exports DIVERGED between shards=1 and shards=4:"; \
 		cmp "$$tmp/s1.body" "$$tmp/s4.body"; exit 1; \
 	fi
+
+# Windowed-SLO equivalence: the -slo-out export carries no shard or
+# parallelism count anywhere (manifest included), so the gate compares
+# whole files across shard counts and ramp parallelism.
+slo-diff:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/whsim" ./cmd/whsim && \
+	for s in 1 2 4; do \
+		"$$tmp/whsim" -system emb1 -workload websearch -des -measure 20 \
+			-shards $$s -enclosures 4 -boards 2 \
+			-slo-out "$$tmp/slo-s$$s.jsonl" >/dev/null 2>&1 || exit 1; \
+	done && \
+	for p in 1 4; do \
+		"$$tmp/whsim" -system emb1 -workload websearch -des -measure 20 \
+			-par $$p -slo-out "$$tmp/slo-p$$p.jsonl" >/dev/null 2>&1 || exit 1; \
+	done && \
+	ok=1; \
+	for f in slo-s2 slo-s4; do \
+		cmp -s "$$tmp/slo-s1.jsonl" "$$tmp/$$f.jsonl" || { \
+			echo "slo-diff: $$f.jsonl DIVERGED from slo-s1.jsonl:"; \
+			cmp "$$tmp/slo-s1.jsonl" "$$tmp/$$f.jsonl"; ok=0; }; \
+	done; \
+	cmp -s "$$tmp/slo-p1.jsonl" "$$tmp/slo-p4.jsonl" || { \
+		echo "slo-diff: par=4 export DIVERGED from par=1:"; \
+		cmp "$$tmp/slo-p1.jsonl" "$$tmp/slo-p4.jsonl"; ok=0; }; \
+	[ $$ok -eq 1 ] && echo "slo-diff: -slo-out byte-identical across shards 1/2/4 and par 1/4" || exit 1
+
+# Introspection smoke: start whsim with the live endpoints on an
+# ephemeral port, poll /obs/windows and /obs/shards until they publish,
+# and assert each serves its schema tag.
+introspect-smoke:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"; kill $$pid 2>/dev/null || true' EXIT; \
+	$(GO) build -o "$$tmp/whsim" ./cmd/whsim || exit 1; \
+	: >"$$tmp/log"; \
+	"$$tmp/whsim" -system emb1 -workload websearch -des -measure 600 \
+		-shards 2 -enclosures 4 -boards 2 -slo-window 1s \
+		-http 127.0.0.1:0 >/dev/null 2>"$$tmp/log" & pid=$$!; \
+	addr=""; for i in $$(seq 1 50); do \
+		addr="$$(sed -n 's|.*serving http://\([^ ]*\) .*|\1|p' "$$tmp/log" | head -1)"; \
+		[ -n "$$addr" ] && break; sleep 0.2; \
+	done; \
+	[ -n "$$addr" ] || { echo "introspect-smoke: server never announced its address"; cat "$$tmp/log"; exit 1; }; \
+	win=""; for i in $$(seq 1 100); do \
+		win="$$(curl -sf "http://$$addr/obs/windows" 2>/dev/null)" && break; sleep 0.2; \
+	done; \
+	echo "$$win" | grep -q '"schema":"warehousesim-windows/v1"' || { \
+		echo "introspect-smoke: /obs/windows missing schema: $$win"; exit 1; }; \
+	sh="$$(curl -sf "http://$$addr/obs/shards")" || { echo "introspect-smoke: /obs/shards unreachable"; exit 1; }; \
+	echo "$$sh" | grep -q '"schema":"warehousesim-shards/v1"' || { \
+		echo "introspect-smoke: /obs/shards missing schema: $$sh"; exit 1; }; \
+	echo "$$sh" | grep -q '"shards":2' || { \
+		echo "introspect-smoke: /obs/shards does not report 2 shards: $$sh"; exit 1; }; \
+	kill $$pid 2>/dev/null; \
+	echo "introspect-smoke: /obs/windows and /obs/shards serve their schemas"
+
+# Coverage with a floor on the observability packages: the windowed
+# metrics plane is the byte-compared surface, so internal/obs/... must
+# hold at least 80% statement coverage.
+cover:
+	@$(GO) test -cover ./... | tee /dev/stderr | \
+	awk '/^ok/ && $$2 ~ /^warehousesim\/internal\/obs/ { \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
+			pct = $$(i+1); sub(/%$$/, "", pct); \
+			if (pct + 0 < 80) { printf "cover: %s at %s%% (floor 80%%)\n", $$2, pct; bad = 1 } } } \
+	END { exit bad }'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .

@@ -130,3 +130,23 @@ func TestReadBenchDocValidatesSchema(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestParallelEfficiencyDerivation: the summary derives from the two
+// ShardedTrial rows and is nil when either is absent, so old records
+// (which predate the field) neither produce nor require it.
+func TestParallelEfficiencyDerivation(t *testing.T) {
+	doc := benchDoc{CPUs: 8, Benchmarks: []benchRecord{
+		{Name: "ShardedTrial", NsPerOp: 4e9},
+		{Name: "ShardedTrial4", NsPerOp: 2e9},
+	}}
+	p := parallelEfficiency(doc)
+	if p == nil {
+		t.Fatal("summary missing with both rows present")
+	}
+	if p.Speedup != 2 || p.Efficiency != 0.5 || p.Shards != 4 || p.CPUs != 8 {
+		t.Errorf("summary = %+v", p)
+	}
+	if parallelEfficiency(benchDoc{Benchmarks: []benchRecord{{Name: "ShardedTrial", NsPerOp: 1}}}) != nil {
+		t.Error("summary produced without the sharded row")
+	}
+}

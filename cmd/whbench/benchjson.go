@@ -56,6 +56,26 @@ type benchDoc struct {
 	Seed       uint64        `json:"seed"`
 	WallSec    float64       `json:"wall_sec"`
 	Benchmarks []benchRecord `json:"benchmarks"`
+	// Parallel summarizes the sharded kernel's parallel efficiency,
+	// derived from the ShardedTrial rows already in Benchmarks. Derived
+	// and machine-dependent, so bench-diff ignores it (old records
+	// without the field load fine — plain json.Unmarshal leaves it nil).
+	Parallel *parallelSummary `json:"parallel_efficiency,omitempty"`
+}
+
+// parallelSummary is the whbench parallel-efficiency record: how much
+// wall-clock the sharded kernel's extra heaps actually buy on this
+// machine. Speedup is baseline/sharded ns_per_op; Efficiency divides
+// by the shard count (1.0 = perfect scaling; below 1/shards means the
+// synchronization costs more than the parallelism returns, expected
+// whenever CPUs < shards).
+type parallelSummary struct {
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	ShardedNsPerOp  float64 `json:"sharded_ns_per_op"`
+	Shards          int     `json:"shards"`
+	Speedup         float64 `json:"speedup"`
+	Efficiency      float64 `json:"efficiency"`
+	CPUs            int     `json:"cpus"`
 }
 
 // gitRev returns the short HEAD revision, or "unknown" when git or the
@@ -221,6 +241,32 @@ func zipfRank(seed uint64) func(*testing.B) {
 	}
 }
 
+// parallelEfficiency derives the sharded-kernel scaling summary from
+// the ShardedTrial/ShardedTrial4 rows, nil when either row is missing.
+func parallelEfficiency(doc benchDoc) *parallelSummary {
+	var base, sharded float64
+	for _, r := range doc.Benchmarks {
+		switch r.Name {
+		case "ShardedTrial":
+			base = r.NsPerOp
+		case "ShardedTrial4":
+			sharded = r.NsPerOp
+		}
+	}
+	if base <= 0 || sharded <= 0 {
+		return nil
+	}
+	const shards = 4 // ShardedTrial4's shard count
+	return &parallelSummary{
+		BaselineNsPerOp: base,
+		ShardedNsPerOp:  sharded,
+		Shards:          shards,
+		Speedup:         base / sharded,
+		Efficiency:      base / sharded / shards,
+		CPUs:            doc.CPUs,
+	}
+}
+
 // writeBenchJSON runs the substrate micro-benchmark suite via
 // testing.Benchmark and writes a warehousesim-bench/v1 record to path.
 // The suite is the whsim hot path at three instrumentation levels plus
@@ -276,6 +322,11 @@ func writeBenchJSON(path string, seed uint64) error {
 			r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
 	doc.WallSec = time.Since(start).Seconds()
+	doc.Parallel = parallelEfficiency(doc)
+	if p := doc.Parallel; p != nil {
+		fmt.Fprintf(os.Stderr, "whbench: parallel efficiency %.2f (speedup %.2fx over %d shards, %d CPUs)\n",
+			p.Efficiency, p.Speedup, p.Shards, p.CPUs)
+	}
 
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,12 +25,35 @@ import (
 	"warehousesim/internal/cluster"
 	"warehousesim/internal/core"
 	"warehousesim/internal/core/cliflags"
+	"warehousesim/internal/des/shard"
 	"warehousesim/internal/metrics"
 	"warehousesim/internal/obs"
 	"warehousesim/internal/obs/span"
+	"warehousesim/internal/obs/window"
 	"warehousesim/internal/platform"
 	"warehousesim/internal/workload"
 )
+
+// schemaShards versions the /obs/shards live document.
+const schemaShards = "warehousesim-shards/v1"
+
+// shardsDoc is the /obs/shards snapshot: the shard engine's live
+// wall-clock counters. Flat runs serve it with Shards 0 and no stats,
+// so a poller can tell "flat model" from "not published yet" (503).
+type shardsDoc struct {
+	Schema       string            `json:"schema"`
+	Phase        string            `json:"phase"`
+	Shards       int               `json:"shards"`
+	LookaheadSec float64           `json:"lookahead_sec"`
+	Stats        []shard.LiveStats `json:"stats"`
+}
+
+func liveShardStats(live cluster.LiveHandles) []shard.LiveStats {
+	if live.ShardStats == nil {
+		return []shard.LiveStats{}
+	}
+	return live.ShardStats()
+}
 
 func designByName(name string) (core.Design, error) {
 	switch name {
@@ -64,6 +88,7 @@ func main() {
 	attrOut := flag.String("attr-out", "", "write the critical-path latency-attribution table as CSV here (implies -obs)")
 	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth request by arrival index (deterministic; 1 = all)")
 	sharding := cliflags.AddSharding(flag.CommandLine)
+	sloFlags := cliflags.AddSLO(flag.CommandLine)
 	httpFlag := cliflags.AddHTTP(flag.CommandLine, "/obs snapshot")
 	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
@@ -81,7 +106,10 @@ func main() {
 	// DES run with -http needs a sink even when no export was requested —
 	// but only an explicit ask should write an obs file.
 	exportObs := obsFlags.Enabled() || tracing
-	obsOn := exportObs
+	sloOn := sloFlags.Enabled()
+	// The windowed-SLO plane taps the recorder stream, so it needs a
+	// sink even when no obs export was asked for.
+	obsOn := exportObs || sloOn
 	if !*useDES {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -90,6 +118,9 @@ func main() {
 				log.Printf("warning: -%s has no effect without -des", f.Name)
 			}
 		})
+		if sloOn {
+			log.Fatal("-slo-window collects windowed metrics from the discrete-event run; add -des")
+		}
 		if obsOn {
 			log.Fatal("-obs instruments the discrete-event run; add -des")
 		}
@@ -121,7 +152,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if intro != nil {
-		log.Printf("introspection: serving http://%s (/obs, /debug/pprof) for the process lifetime", bound)
+		log.Printf("introspection: serving http://%s (/obs, /obs/windows, /obs/shards, /debug/pprof) for the process lifetime", bound)
 		if *useDES {
 			obsOn = true
 		}
@@ -183,11 +214,17 @@ func main() {
 		if obsOn {
 			sink = obs.NewSink()
 			opts.Obs = sink
+			opts.SLOWindowSec = sloFlags.WindowSec()
 			if tracing {
 				opts.TraceEvery = *traceEvery
 			}
 		}
+		// OnLive and OnProbeTick both fire on the goroutine driving the
+		// instrumented replay, so `live` needs no locking; the HTTP side
+		// only ever sees published bytes.
+		var live cluster.LiveHandles
 		if intro != nil && sink != nil {
+			opts.OnLive = func(h cluster.LiveHandles) { live = h }
 			horizon := opts.WarmupSec + opts.MeasureSec
 			if p.Batch {
 				horizon = 0 // open-ended: the job defines its own end
@@ -198,12 +235,26 @@ func main() {
 				}); err == nil {
 					intro.Publish(b)
 				}
+				if len(live.SLO) > 0 {
+					if b, err := window.LiveSnapshot(live.SLO); err == nil {
+						intro.PublishWindows(b)
+					}
+				}
+				if b, err := json.Marshal(shardsDoc{
+					Schema:       schemaShards,
+					Phase:        phase,
+					Shards:       live.Shards,
+					LookaheadSec: live.LookaheadSec,
+					Stats:        liveShardStats(live),
+				}); err == nil {
+					intro.PublishShards(b)
+				}
 			}
 			// The adaptive search runs uninstrumented (see cluster docs),
 			// so live progress covers the instrumented replay.
 			pub("search", 0)
 			opts.OnProbeTick = func(simNow float64) { pub("replay", simNow) }
-			defer pub("done", horizon)
+			defer func() { pub("done", horizon) }()
 		}
 
 		start := time.Now()
@@ -225,6 +276,25 @@ func main() {
 		fmt.Printf("  bottleneck %s; utilization cpu %.0f%% disk %.0f%% net %.0f%%\n",
 			res.Bottleneck, res.Utilization["cpu"]*100,
 			res.Utilization["disk"]*100, res.Utilization["net"]*100)
+
+		if res.SLO != nil {
+			ws := res.SLO.Windows()
+			violating := 0
+			for _, w := range ws {
+				if w.Violating {
+					violating++
+				}
+			}
+			eps := res.SLO.Episodes(res.SLOParts...)
+			fmt.Printf("  slo: %d windows of %gs, %d violating, %d episodes, %.2f violation-minutes\n",
+				len(ws), opts.SLOWindowSec, violating, len(eps), window.ViolationSec(eps)/60)
+			if path := sloFlags.OutPath(); path != "" {
+				if err := res.SLO.WriteFile(path, res.SLOParts...); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("slo: wrote %s (%d windows; byte-identical at any -shards/-par)", path, len(ws))
+			}
+		}
 
 		if diagSink != nil {
 			dman := obs.NewManifest(p.Name, d.Name, *seed)

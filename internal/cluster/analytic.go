@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"warehousesim/internal/obs/window"
 	"warehousesim/internal/workload"
 )
 
@@ -31,6 +32,13 @@ type Result struct {
 	Utilization map[string]float64
 	// Clients is the sustained concurrent client count (DES runs only).
 	Clients int
+	// SLO is the merged windowed-SLO collector of an instrumented DES run
+	// configured with SimOptions.SLOWindowSec (nil otherwise); SLOParts
+	// are the per-partition collectors behind it — the enclosures plus
+	// the rack-global part for Topology runs, nil for the flat model —
+	// used to attribute episode blast radius in the export.
+	SLO      *window.Collector
+	SLOParts []*window.Collector
 }
 
 // bestEffortUtil is the utilization at which throughput is reported when
@@ -100,7 +108,16 @@ func (c Config) stations(p workload.Profile) []station {
 // QoS bound applies to, assuming an approximately exponential response
 // tail (exact for M/M/1; slightly pessimistic for multi-stage pipelines,
 // which the DES cross-validation quantifies).
+//
+// Percentiles outside (0,1) would yield a non-positive or infinite
+// factor (log of a non-positive or unbounded argument). Profile
+// validation rejects them before any model runs, but this is the one
+// place the arithmetic would silently poison a result, so it clamps
+// defensively to the paper's default 95th percentile.
 func qosTailFactor(percentile float64) float64 {
+	if percentile <= 0 || percentile >= 1 || math.IsNaN(percentile) {
+		percentile = 0.95
+	}
 	return math.Log(1 / (1 - percentile))
 }
 

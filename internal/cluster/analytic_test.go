@@ -240,3 +240,46 @@ func TestQuickThroughputMonotoneInSlowdown(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// qosTailFactor must stay finite and positive for any input: profile
+// validation rejects percentiles outside (0,1) upstream, but the
+// factor itself is the one place bad arithmetic would silently poison
+// a throughput figure, so it clamps to the paper's default 95th.
+func TestQoSTailFactorGuards(t *testing.T) {
+	def := qosTailFactor(0.95)
+	cases := []struct {
+		name       string
+		percentile float64
+		want       float64
+	}{
+		{"p50", 0.5, math.Log(2)},
+		{"p95", 0.95, def},
+		{"p99", 0.99, math.Log(100)},
+		{"zero", 0, def},
+		{"one", 1, def},
+		{"negative", -1, def},
+		{"above one", 2, def},
+		{"NaN", math.NaN(), def},
+	}
+	for _, c := range cases {
+		got := qosTailFactor(c.percentile)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+			t.Errorf("%s: qosTailFactor(%g) = %g, not finite positive", c.name, c.percentile, got)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: qosTailFactor(%g) = %g, want %g", c.name, c.percentile, got, c.want)
+		}
+	}
+}
+
+// TestValidateRejectsBadQoSPercentile: the profile layer refuses the
+// inputs qosTailFactor would otherwise have to clamp.
+func TestValidateRejectsBadQoSPercentile(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		p := testProfile()
+		p.QoSPercentile = bad
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted QoSPercentile %g", bad)
+		}
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"sync"
 
 	"warehousesim/internal/des"
+	"warehousesim/internal/des/shard"
 	"warehousesim/internal/obs"
 	"warehousesim/internal/obs/span"
+	"warehousesim/internal/obs/window"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/workload"
 )
@@ -73,6 +75,40 @@ type SimOptions struct {
 	// separate from Obs — the deterministic export stays byte-identical
 	// at any shard count. Ignored without a Topology.
 	ShardDiag obs.Recorder
+
+	// SLOWindowSec, when > 0, turns on the windowed-SLO metrics plane:
+	// the instrumented run additionally folds its request, utilization,
+	// and hit-rate streams into tumbling windows of this width over
+	// simulated time (see internal/obs/window), the QoS episode summary
+	// is emitted into Obs, and Result.SLO carries the merged collector.
+	// Windowed collection rides the instrumented replay, so it requires
+	// an enabled Obs and — like Obs itself — never changes the reported
+	// result or the existing export streams.
+	SLOWindowSec float64
+
+	// OnLive, when non-nil, fires once per run just before the
+	// instrumented simulation starts, handing the caller the live
+	// introspection handles: the per-partition window collectors and,
+	// for Topology runs, the shard engine's live counters. The handles
+	// stay valid for the rest of the run; everything reachable through
+	// them is safe to read concurrently with the simulation.
+	OnLive func(LiveHandles)
+}
+
+// LiveHandles is what SimOptions.OnLive receives: read-only views that
+// a live introspection server may poll while the run executes. SLO is
+// nil when SLOWindowSec is off; ShardStats is nil for flat (non-
+// Topology) runs.
+type LiveHandles struct {
+	// SLO holds the per-partition window collectors (one for flat runs;
+	// one per enclosure plus the rack-global part for Topology runs).
+	// Only Collector.LiveSummaries is safe concurrently.
+	SLO []*window.Collector
+	// ShardStats returns the engine's live per-shard counters.
+	ShardStats func() []shard.LiveStats
+	// Shards and LookaheadSec describe the engine behind ShardStats.
+	Shards       int
+	LookaheadSec float64
 }
 
 // DefaultSimOptions returns sensible defaults for validation runs.
@@ -105,6 +141,9 @@ func (o SimOptions) Normalize() (SimOptions, error) {
 	}
 	if o.Parallelism < 0 {
 		return o, fmt.Errorf("cluster: negative parallelism %d", o.Parallelism)
+	}
+	if o.SLOWindowSec < 0 || math.IsInf(o.SLOWindowSec, 0) || math.IsNaN(o.SLOWindowSec) {
+		return o, fmt.Errorf("cluster: invalid SLO window width %g", o.SLOWindowSec)
 	}
 	if o.ProbeIntervalSec == 0 {
 		o.ProbeIntervalSec = 1
@@ -147,6 +186,23 @@ func (c Config) memSwapFraction() float64 {
 		return 0
 	}
 	return c.MemSlowdown / (1 + c.MemSlowdown)
+}
+
+// newSLOCollector builds the windowed-SLO collector for one partition
+// of an instrumented run, or nil when the plane is off (SLOWindowSec
+// unset or no enabled recorder to ride). The window inherits the
+// profile's QoS bound and percentile, so a window "violates" exactly
+// when the bound the adaptive driver enforces globally is broken
+// locally in time.
+func newSLOCollector(p workload.Profile, opt SimOptions) (*window.Collector, error) {
+	if opt.SLOWindowSec <= 0 || !obs.On(opt.Obs) {
+		return nil, nil
+	}
+	return window.New(window.Config{
+		WidthSec:      opt.SLOWindowSec,
+		QoSLatencySec: p.QoSLatencySec,
+		QoSPercentile: p.QoSPercentile,
+	})
 }
 
 // trialOutcome summarizes one closed-loop trial at a fixed client count.
@@ -255,6 +311,11 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 		return ctx.run(gen, p, n, opt, seed, nil), seed
 	}
 
+	slo, err := newSLOCollector(p, opt)
+	if err != nil {
+		return Result{}, err
+	}
+
 	best := trialOutcome{}
 	bestN := 0
 	bestSeed := uint64(0)
@@ -268,11 +329,33 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	// replay re-runs the chosen operating point with the recorder
 	// attached. Same seed, same trajectory: the instrumented replay's
 	// outcome matches the recorded best exactly, so -obs never changes
-	// the reported numbers.
+	// the reported numbers. The windowed-SLO tee wraps only this replay
+	// — the search stays uninstrumented — so the window stream is a pure
+	// function of the chosen operating point and the seed.
 	replay := func(n int, s uint64) {
-		if obs.On(opt.Obs) {
-			ctx.run(gen, p, n, opt, s, opt.Obs)
+		if !obs.On(opt.Obs) {
+			return
 		}
+		rec := window.NewTee(opt.Obs, slo)
+		if opt.OnLive != nil {
+			handles := LiveHandles{}
+			if slo != nil {
+				handles.SLO = []*window.Collector{slo}
+			}
+			opt.OnLive(handles)
+		}
+		ctx.run(gen, p, n, opt, s, rec)
+	}
+	// finishSLO seals the collector at the replay's horizon, reduces it
+	// to QoS episodes, and publishes both into the deterministic stream
+	// and the result.
+	finishSLO := func(res *Result) {
+		if slo == nil {
+			return
+		}
+		slo.Seal(opt.WarmupSec + opt.MeasureSec)
+		slo.EmitEpisodes(opt.Obs, slo.Episodes())
+		res.SLO = slo
 	}
 
 	// Exponential ramp: speculative-parallel when allowed, else
@@ -303,7 +386,7 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 		// moderate load, mirroring the analytic path.
 		t, s := trial(maxInt(1, opt.MaxClients/8))
 		replay(maxInt(1, opt.MaxClients/8), s)
-		return Result{
+		res := Result{
 			Throughput:  t.throughput,
 			Perf:        t.throughput,
 			QoSMet:      false,
@@ -312,7 +395,9 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 			Bottleneck:  bottleneckOf(t.utilization),
 			Utilization: t.utilization,
 			Clients:     maxInt(1, opt.MaxClients/8),
-		}, nil
+		}
+		finishSLO(&res)
+		return res, nil
 	}
 	if firstBad == 0 {
 		firstBad = opt.MaxClients + 1
@@ -333,7 +418,7 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	}
 
 	replay(bestN, bestSeed)
-	return Result{
+	res := Result{
 		Throughput:  best.throughput,
 		Perf:        best.throughput,
 		QoSMet:      true,
@@ -342,7 +427,9 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 		Bottleneck:  bottleneckOf(best.utilization),
 		Utilization: best.utilization,
 		Clients:     bestN,
-	}, nil
+	}
+	finishSLO(&res)
+	return res, nil
 }
 
 // batchRun drives one batch job: a fixed set of task slots, each
@@ -422,7 +509,11 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 
 	// Batch runs execute exactly once, so they are instrumented inline
 	// (recording observes without perturbing the trajectory).
-	rec := opt.Obs
+	slo, err := newSLOCollector(p, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	rec := window.NewTee(opt.Obs, slo)
 	b.rec = rec
 	b.recording = obs.On(rec)
 	b.gen = gen
@@ -454,6 +545,13 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 		t.flow.init(b.srv, t.finished)
 		t.launch()
 	}
+	if b.recording && opt.OnLive != nil {
+		handles := LiveHandles{}
+		if slo != nil {
+			handles.SLO = []*window.Collector{slo}
+		}
+		opt.OnLive(handles)
+	}
 	b.sim.Run(des.Time(math.MaxFloat64))
 	if b.recording {
 		probes.Stop()
@@ -466,7 +564,7 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 	}
 
 	exec := float64(b.finish)
-	return Result{
+	res := Result{
 		Throughput: float64(p.JobRequests) / exec,
 		Perf:       1 / exec,
 		QoSMet:     true,
@@ -478,7 +576,13 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 			"cpu": b.srv.cpu.Utilization(), "disk": b.srv.disk.Utilization(), "net": b.srv.net.Utilization(),
 		},
 		Clients: concurrency,
-	}, nil
+	}
+	if slo != nil {
+		slo.Seal(exec)
+		slo.EmitEpisodes(opt.Obs, slo.Episodes())
+		res.SLO = slo
+	}
+	return res, nil
 }
 
 func bottleneckOf(util map[string]float64) string {

@@ -53,6 +53,7 @@ import (
 	"warehousesim/internal/fabric"
 	"warehousesim/internal/obs"
 	"warehousesim/internal/obs/span"
+	"warehousesim/internal/obs/window"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/workload"
 )
@@ -139,11 +140,13 @@ type rackSim struct {
 	encs   []*rackEnclosure
 	boards []*rackBoard // global board order: enclosure-major
 
-	sh0    *shard.Shard
-	san    *des.Resource
-	sanEnt shard.EntityID
-	aggEnt shard.EntityID
-	global *obs.Sink // rack-global recording part (SAN probes, run counters)
+	sh0       *shard.Shard
+	san       *des.Resource
+	sanEnt    shard.EntityID
+	aggEnt    shard.EntityID
+	global    *obs.Sink    // rack-global recording part (SAN probes, run counters)
+	globalRec obs.Recorder // global, tee'd through globalSLO when windowing
+	globalSLO *window.Collector
 
 	aggDone   int
 	aggTotal  int
@@ -170,7 +173,8 @@ type rackEnclosure struct {
 
 	recording bool
 	sink      *obs.Sink
-	rec       obs.Recorder
+	rec       obs.Recorder // sink, tee'd through slo when windowing
+	slo       *window.Collector
 	gen       workload.Generator
 	tracer    *span.Tracer
 	evFields  [3]obs.Field
@@ -503,6 +507,22 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 			enc.sink = obs.NewSink()
 			enc.rec = enc.sink
 			enc.gen = workload.Instrument(gen, enc.sink)
+			if opt.SLOWindowSec > 0 {
+				// One window collector per enclosure, fed through a tee
+				// over the enclosure's private part: windows are assigned
+				// by observation time, so the per-enclosure collectors are
+				// the same at every shard count and merge in enclosure
+				// order exactly like the sinks do.
+				enc.slo, err = window.New(window.Config{
+					WidthSec:      opt.SLOWindowSec,
+					QoSLatencySec: p.QoSLatencySec,
+					QoSPercentile: p.QoSPercentile,
+				})
+				if err != nil {
+					return nil, err
+				}
+				enc.rec = window.NewTee(enc.sink, enc.slo)
+			}
 			if opt.TraceEvery > 0 {
 				// Disjoint id bases keep span ids unique across the
 				// per-enclosure tracers.
@@ -529,6 +549,18 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 	r.san = des.NewResource(r.sh0.Sim, "san", t.SANDisks)
 	if recording {
 		r.global = obs.NewSink()
+		r.globalRec = r.global
+		if opt.SLOWindowSec > 0 {
+			r.globalSLO, err = window.New(window.Config{
+				WidthSec:      opt.SLOWindowSec,
+				QoSLatencySec: p.QoSLatencySec,
+				QoSPercentile: p.QoSPercentile,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r.globalRec = window.NewTee(r.global, r.globalSLO)
+		}
 	}
 	return r, nil
 }
@@ -542,7 +574,7 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 func (r *rackSim) startProbes() {
 	iv := des.Time(r.opt.ProbeIntervalSec)
 	for _, enc := range r.encs {
-		pr := des.NewProbes(enc.sh.Sim, enc.sink, iv)
+		pr := des.NewProbes(enc.sh.Sim, enc.rec, iv)
 		pr.OmitKernel = true
 		for _, bd := range enc.boards {
 			pr.Watch(bd.cpu, bd.net)
@@ -552,11 +584,64 @@ func (r *rackSim) startProbes() {
 		}
 		pr.Start()
 	}
-	gp := des.NewProbes(r.sh0.Sim, r.global, iv)
+	gp := des.NewProbes(r.sh0.Sim, r.globalRec, iv)
 	gp.OmitKernel = true
 	gp.Watch(r.san)
 	gp.OnTick = r.opt.OnProbeTick
 	gp.Start()
+}
+
+// sloParts returns the run's window collectors in the canonical merge
+// order — enclosures, then the rack-global part — or nil when the
+// windowed-SLO plane is off.
+func (r *rackSim) sloParts() []*window.Collector {
+	if r.globalSLO == nil {
+		return nil
+	}
+	parts := make([]*window.Collector, 0, len(r.encs)+1)
+	for _, enc := range r.encs {
+		parts = append(parts, enc.slo)
+	}
+	return append(parts, r.globalSLO)
+}
+
+// fireOnLive hands the caller the live introspection handles just
+// before the engine runs: the per-part window collectors and the shard
+// engine's live counters.
+func (r *rackSim) fireOnLive() {
+	if r.opt.OnLive == nil {
+		return
+	}
+	r.opt.OnLive(LiveHandles{
+		SLO:          r.sloParts(),
+		ShardStats:   r.eng.LiveStats,
+		Shards:       r.eng.Shards(),
+		LookaheadSec: float64(r.la),
+	})
+}
+
+// finishSLO seals every window part at the run's horizon, folds them
+// in the canonical part order (matching finishObs), reduces the merged
+// timeline to QoS episodes, and emits the summary into the merged
+// deterministic sink. Everything emitted is computed from the merged
+// collector, so the export stays byte-identical at any shard count.
+// Call after finishObs.
+func (r *rackSim) finishSLO(horizon float64, res *Result) {
+	parts := r.sloParts()
+	if parts == nil {
+		return
+	}
+	for _, p := range parts {
+		p.Seal(horizon)
+	}
+	merged, err := window.New(parts[0].Config())
+	if err != nil {
+		return // unreachable: the parts were built from this config
+	}
+	merged.MergeFrom(parts...)
+	merged.EmitEpisodes(r.opt.Obs, merged.Episodes(parts...))
+	res.SLO = merged
+	res.SLOParts = parts
 }
 
 // setupInteractive populates every board with its closed-loop clients
@@ -694,6 +779,7 @@ func (c Config) rackInteractive(gen workload.Generator, p workload.Profile, opt 
 		return Result{}, err
 	}
 	r.setupInteractive()
+	r.fireOnLive()
 	r.eng.Run(des.Time(opt.WarmupSec + opt.MeasureSec))
 
 	hist := stats.NewLatencyHistogram()
@@ -720,6 +806,7 @@ func (c Config) rackInteractive(gen workload.Generator, p workload.Profile, opt 
 		out.QoSMet = true
 	}
 	r.finishObs(clients)
+	r.finishSLO(opt.WarmupSec+opt.MeasureSec, &out)
 	if r.opt.ShardDiag != nil {
 		r.eng.EmitDiagnostics(r.opt.ShardDiag)
 	}
@@ -737,6 +824,9 @@ func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOpt
 		return Result{}, err
 	}
 	slots := r.setupBatch()
+	if !obs.On(opt.Obs) {
+		r.fireOnLive() // no instrumented replay will follow
+	}
 	r.eng.Run(des.Time(math.Inf(1)))
 	if r.aggDone != p.JobRequests {
 		return Result{}, fmt.Errorf("cluster: rack batch job stalled at %d/%d chunks", r.aggDone, p.JobRequests)
@@ -750,6 +840,7 @@ func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOpt
 			return Result{}, err
 		}
 		r2.setupBatch()
+		r2.fireOnLive()
 		r2.eng.Run(r.aggFinish)
 		if r2.aggDone != r.aggDone || r2.aggFinish != r.aggFinish {
 			return Result{}, fmt.Errorf("cluster: instrumented rack replay diverged: %d/%d chunks at %v vs %v",
@@ -763,7 +854,7 @@ func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOpt
 		measured.eng.EmitDiagnostics(opt.ShardDiag)
 	}
 	util := measured.utilization(exec)
-	return Result{
+	out := Result{
 		Throughput:  float64(p.JobRequests) / exec,
 		Perf:        1 / exec,
 		QoSMet:      true,
@@ -771,5 +862,7 @@ func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOpt
 		Bottleneck:  bottleneckOf(util),
 		Utilization: util,
 		Clients:     clients,
-	}, nil
+	}
+	measured.finishSLO(exec, &out)
+	return out, nil
 }

@@ -11,6 +11,7 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"warehousesim/internal/cluster"
 	"warehousesim/internal/obs"
@@ -157,3 +158,40 @@ func (s *Sharding) Topology() *cluster.ShardedTopology {
 
 // DiagOut returns the -shard-diag path ("" when unset).
 func (s *Sharding) DiagOut() string { return *s.diagOut }
+
+// SLO is the -slo-window/-slo-out pair for the windowed SLO metrics
+// plane.
+type SLO struct {
+	window *time.Duration
+	out    *string
+}
+
+// AddSLO registers the windowed-SLO flags.
+func AddSLO(fs *flag.FlagSet) *SLO {
+	return &SLO{
+		window: fs.Duration("slo-window", 0,
+			"collect windowed SLO metrics over tumbling windows of this simulated-time width, e.g. 1s (implies -obs)"),
+		out: fs.String("slo-out", "",
+			"write the windowed SLO export here as JSONL (implies -slo-window 1s when -slo-window is unset)"),
+	}
+}
+
+// WindowSec applies the "-slo-out implies -slo-window 1s" convention
+// and returns the window width in simulated seconds (0 = windowing
+// off). Call after flag parsing; widths are validated downstream by
+// SimOptions.Normalize.
+func (s *SLO) WindowSec() float64 {
+	if *s.window > 0 {
+		return s.window.Seconds()
+	}
+	if *s.out != "" {
+		return 1
+	}
+	return 0
+}
+
+// Enabled reports whether windowed-SLO collection was requested.
+func (s *SLO) Enabled() bool { return s.WindowSec() > 0 }
+
+// OutPath returns the -slo-out path ("" when unset).
+func (s *SLO) OutPath() string { return *s.out }

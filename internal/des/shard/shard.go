@@ -51,8 +51,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"warehousesim/internal/des"
+	"warehousesim/internal/obs"
 )
 
 // EntityID names one simulated entity (a board, a memory blade, the
@@ -185,6 +187,30 @@ type Stats struct {
 	MaxPendingDepth int     // high-water mark of undelivered messages
 	MaxBatchMsgs    int     // largest single mailbox batch received, in messages
 	MaxSkewSec      float64 // max lead of this shard's clock over the slowest peer
+
+	// Wall-clock split of the round loop: BusySec executing the window
+	// (advance), BlockedSec flushing to and waiting on peer mailboxes.
+	// BusySec/(BusySec+BlockedSec) is the shard's parallel efficiency.
+	BusySec    float64
+	BlockedSec float64
+	// BindingRounds counts the rounds where this shard's own EOT was the
+	// global minimum — the rounds where it was the one holding everyone
+	// else back. The Slack* fields describe the other rounds: how far
+	// (in simulated seconds) this shard's EOT sat above the binding one.
+	BindingRounds int64
+	SlackMeanSec  float64
+	SlackP50Sec   float64
+	SlackP95Sec   float64
+	SlackMaxSec   float64
+	// MeanWindowSec is the mean committed window width; LookaheadUtil is
+	// lookahead/MeanWindowSec in (0,1] — near 1 means windows never grow
+	// past the conservative floor (synchronization-bound), near 0 means
+	// windows batch far ahead of it (compute-bound).
+	MeanWindowSec float64
+	LookaheadUtil float64
+	// SentTo[d] is the number of cross-shard messages this shard staged
+	// for destination shard d (the traffic matrix row; SentTo[own] = 0).
+	SentTo []int64
 }
 
 // sample is one diagnostic point (t = committed simulated time).
@@ -215,6 +241,26 @@ type Shard struct {
 	depthSinceS  int
 	skewSamples  []sample
 	depthSamples []sample
+
+	// Self-telemetry accumulators (owner goroutine only).
+	busyNs    int64
+	blockedNs int64
+	binding   int64
+	slackHist obs.Hist
+	slackSum  float64
+	slackMax  float64
+	widthSum  float64
+	sentTo    []int64
+
+	// Live mirrors, stored once per committed round for concurrent
+	// readers (Engine.LiveStats). Scheduling-dependent by nature — live
+	// introspection only, never the deterministic export.
+	liveWindows   atomic.Int64
+	liveSent      atomic.Int64
+	liveRecv      atomic.Int64
+	liveFired     atomic.Uint64
+	liveBusyNs    atomic.Int64
+	liveBlockedNs atomic.Int64
 }
 
 // Engine coordinates the shards of one run.
@@ -257,6 +303,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for i := range e.shards {
 		e.shards[i] = &Shard{eng: e, id: i, Sim: des.NewSim(), stagedMin: infTime}
 		e.shards[i].stats.Shard = i
+		e.shards[i].sentTo = make([]int64, cfg.Shards)
 	}
 	// Full mesh of bounded mailboxes: every ordered pair gets one
 	// channel, so EOT null messages flow even between shards that never
@@ -330,9 +377,92 @@ func (e *Engine) ShardStats() []Stats {
 	out := make([]Stats, len(e.shards))
 	for i, s := range e.shards {
 		s.stats.Fired = s.Sim.Fired()
-		out[i] = s.stats
+		st := s.stats
+		st.BusySec = float64(s.busyNs) / 1e9
+		st.BlockedSec = float64(s.blockedNs) / 1e9
+		st.BindingRounds = s.binding
+		if n := s.slackHist.Count(); n > 0 {
+			st.SlackMeanSec = s.slackSum / float64(n)
+			st.SlackP50Sec = s.slackHist.Quantile(0.50)
+			st.SlackP95Sec = s.slackHist.Quantile(0.95)
+			st.SlackMaxSec = s.slackMax
+		}
+		if st.Windows > 0 {
+			st.MeanWindowSec = s.widthSum / float64(st.Windows)
+			if st.MeanWindowSec > 0 {
+				st.LookaheadUtil = float64(e.cfg.Lookahead) / st.MeanWindowSec
+			}
+		}
+		st.SentTo = append([]int64(nil), s.sentTo...)
+		out[i] = st
 	}
 	return out
+}
+
+// LiveStats is the subset of Stats safe to read while Run is still
+// going: each shard stores it atomically once per committed round
+// (once at completion on the single-shard fast path). Values lag the
+// shard by at most one round and depend on goroutine scheduling — they
+// feed the live introspection endpoint, never the deterministic
+// export.
+type LiveStats struct {
+	Shard      int     `json:"shard"`
+	Windows    int64   `json:"windows"`
+	MsgsSent   int64   `json:"msgs_sent"`
+	MsgsRecv   int64   `json:"msgs_recv"`
+	Fired      uint64  `json:"fired"`
+	BusySec    float64 `json:"busy_sec"`
+	BlockedSec float64 `json:"blocked_sec"`
+}
+
+// LiveStats returns each shard's live counters. Safe to call from any
+// goroutine at any time, including while Run is executing.
+func (e *Engine) LiveStats() []LiveStats {
+	out := make([]LiveStats, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = LiveStats{
+			Shard:      s.id,
+			Windows:    s.liveWindows.Load(),
+			MsgsSent:   s.liveSent.Load(),
+			MsgsRecv:   s.liveRecv.Load(),
+			Fired:      s.liveFired.Load(),
+			BusySec:    float64(s.liveBusyNs.Load()) / 1e9,
+			BlockedSec: float64(s.liveBlockedNs.Load()) / 1e9,
+		}
+	}
+	return out
+}
+
+// publishLive mirrors the owner-goroutine counters into the atomics
+// LiveStats reads. Called once per committed round and at run exit.
+func (s *Shard) publishLive() {
+	s.liveWindows.Store(s.stats.Windows)
+	s.liveSent.Store(s.stats.MsgsSent)
+	s.liveRecv.Store(s.stats.MsgsRecv)
+	s.liveFired.Store(s.Sim.Fired())
+	s.liveBusyNs.Store(s.busyNs)
+	s.liveBlockedNs.Store(s.blockedNs)
+}
+
+// noteSlack classifies one round's EOT against the global minimum:
+// either this shard was the binding one, or it records how far (in
+// simulated seconds) its own frontier sat above the binding EOT. An
+// infinite own EOT (shard locally dry) carries no information and is
+// skipped.
+func (s *Shard) noteSlack(myEOT, e des.Time) {
+	if math.IsInf(float64(myEOT), 1) {
+		return
+	}
+	slack := float64(myEOT - e)
+	if slack <= 0 {
+		s.binding++
+		return
+	}
+	s.slackHist.Add(slack)
+	s.slackSum += slack
+	if slack > s.slackMax {
+		s.slackMax = slack
+	}
 }
 
 // Run executes the simulation to the inclusive horizon (events exactly
@@ -396,6 +526,7 @@ func (s *Shard) Post(src, dst EntityID, delay des.Time, act des.Action) {
 		s.stagedMin = m.arrive
 	}
 	s.stats.MsgsSent++
+	s.sentTo[dst32]++
 }
 
 func (s *Shard) pushPending(m message) {
@@ -436,6 +567,11 @@ func (s *Shard) eot() des.Time {
 // mailbox holds at most one in-flight batch per round).
 func (s *Shard) run(until des.Time) {
 	la := s.eng.cfg.Lookahead
+	// Two wall-clock reads per round split the loop into a blocked
+	// segment (flush + mailbox waits) and a busy segment (window
+	// execution) — with thousands of events per window the overhead is
+	// noise, and the split is the shard's parallel-efficiency signal.
+	last := time.Now()
 	for {
 		myEOT := s.eot()
 		myStop := s.eng.stopped.Load()
@@ -460,32 +596,49 @@ func (s *Shard) run(until des.Time) {
 				s.stats.MsgsRecv++
 			}
 		}
+		now := time.Now()
+		s.blockedNs += now.Sub(last).Nanoseconds()
+		last = now
 		if stop {
+			s.publishLive()
 			return
 		}
 		if math.IsInf(float64(e), 1) {
+			s.publishLive()
 			return // the whole cluster ran dry
 		}
+		s.noteSlack(myEOT, e)
 		if e+la > until {
 			// The remaining window covers the horizon: finish
 			// inclusively. Sends staged here would arrive past the
 			// horizon, so no further exchange is needed.
 			s.advance(until, true)
+			s.busyNs += time.Since(last).Nanoseconds()
+			s.publishLive()
 			return
 		}
 		w := e + la
 		s.advance(w, false)
+		now = time.Now()
+		s.busyNs += now.Sub(last).Nanoseconds()
+		last = now
+		s.widthSum += float64(w - s.committed)
 		s.committed = w
 		s.stats.Windows++
 		s.noteWindow()
+		s.publishLive()
 	}
 }
 
 // runSingle is the one-shard fast path: no rounds, no channels — the
 // advance loop with the same delivery rule, which is exactly the
-// single-heap kernel.
+// single-heap kernel. There are no rounds to time, so live counters
+// update once, at completion (all busy, nothing blocked).
 func (s *Shard) runSingle(until des.Time) {
+	start := time.Now()
 	s.advance(until, true)
+	s.busyNs += time.Since(start).Nanoseconds()
+	s.publishLive()
 }
 
 // advance interleaves message delivery and event execution at event

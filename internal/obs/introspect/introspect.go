@@ -1,6 +1,7 @@
 // Package introspect serves live run introspection over HTTP: the
 // latest obs snapshot (progress, counters, gauges, histogram summaries)
-// alongside the standard pprof profiling endpoints.
+// plus the windowed-SLO and shard-telemetry documents, alongside the
+// standard pprof profiling endpoints.
 //
 // It lives apart from package obs on purpose: obs is linked into every
 // simulator and the benchmark harness, and pulling net/http into those
@@ -26,14 +27,22 @@ import (
 // server can never perturb the DES — there is no locking on the
 // simulation side beyond the publish itself, and no simulator state is
 // reached from handlers.
+//
+// Each document endpoint answers 503 with a JSON error body until its
+// first publish: "no data yet" is distinguishable from "an empty
+// snapshot", so pollers starting before the run produces data can tell
+// a warming-up server from a broken one.
 type Server struct {
-	mu   sync.RWMutex
-	snap []byte
+	mu      sync.RWMutex
+	snap    []byte
+	windows []byte
+	shards  []byte
 }
 
-// New returns an endpoint with an empty snapshot.
+// New returns an endpoint with no published documents; every document
+// endpoint serves 503 until its first publish.
 func New() *Server {
-	return &Server{snap: []byte("{}")}
+	return &Server{}
 }
 
 // Publish replaces the served snapshot. The caller must not modify b
@@ -44,17 +53,51 @@ func (in *Server) Publish(b []byte) {
 	in.mu.Unlock()
 }
 
-// Latest returns the most recently published snapshot bytes.
+// PublishWindows replaces the served windowed-SLO document (see
+// window.LiveSnapshot). The caller must not modify b afterwards.
+func (in *Server) PublishWindows(b []byte) {
+	in.mu.Lock()
+	in.windows = b
+	in.mu.Unlock()
+}
+
+// PublishShards replaces the served shard-telemetry document. The
+// caller must not modify b afterwards.
+func (in *Server) PublishShards(b []byte) {
+	in.mu.Lock()
+	in.shards = b
+	in.mu.Unlock()
+}
+
+// Latest returns the most recently published snapshot bytes (nil
+// before the first Publish).
 func (in *Server) Latest() []byte {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	return in.snap
 }
 
+// serveDoc writes the latest published document for endpoint, or a 503
+// JSON error body before the first publish.
+func (in *Server) serveDoc(w http.ResponseWriter, endpoint string, read func() []byte) {
+	in.mu.RLock()
+	b := read()
+	in.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if b == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":"no snapshot published yet","endpoint":%q}`+"\n", endpoint)
+		return
+	}
+	w.Write(b)
+}
+
 // Handler returns the introspection mux:
 //
 //	/             index page
 //	/obs          latest snapshot (progress, counters, gauges, hists)
+//	/obs/windows  live windowed-SLO summaries per partition
+//	/obs/shards   live shard-kernel self-telemetry
 //	/debug/pprof  the standard runtime profiling endpoints
 func (in *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -66,11 +109,18 @@ func (in *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "warehousesim live introspection\n\n"+
 			"  /obs           latest obs snapshot (progress, counters, gauges, hists)\n"+
+			"  /obs/windows   live windowed-SLO summaries per partition\n"+
+			"  /obs/shards    live shard-kernel self-telemetry\n"+
 			"  /debug/pprof/  runtime profiles (heap, profile, trace, ...)\n")
 	})
 	mux.HandleFunc("/obs", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(in.Latest())
+		in.serveDoc(w, "/obs", func() []byte { return in.snap })
+	})
+	mux.HandleFunc("/obs/windows", func(w http.ResponseWriter, r *http.Request) {
+		in.serveDoc(w, "/obs/windows", func() []byte { return in.windows })
+	})
+	mux.HandleFunc("/obs/shards", func(w http.ResponseWriter, r *http.Request) {
+		in.serveDoc(w, "/obs/shards", func() []byte { return in.shards })
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

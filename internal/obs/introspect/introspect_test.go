@@ -29,10 +29,18 @@ func TestObsEndpointServesLatestSnapshot(t *testing.T) {
 	srv := httptest.NewServer(in.Handler())
 	defer srv.Close()
 
-	// Before any publish: the empty document, still valid JSON.
+	// Before any publish: 503 with a JSON error body, so a poller can
+	// tell a warming-up server from a broken one.
 	code, body := get(t, srv, "/obs")
-	if code != http.StatusOK || string(body) != "{}" {
-		t.Fatalf("initial /obs = %d %q", code, body)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("initial /obs = %d %q, want 503", code, body)
+	}
+	var errDoc struct {
+		Error    string `json:"error"`
+		Endpoint string `json:"endpoint"`
+	}
+	if err := json.Unmarshal(body, &errDoc); err != nil || errDoc.Error == "" || errDoc.Endpoint != "/obs" {
+		t.Fatalf("initial /obs body = %q (parse err %v)", body, err)
 	}
 
 	// Publish a real sink snapshot and read it back.
@@ -79,6 +87,44 @@ func TestObsEndpointServesLatestSnapshot(t *testing.T) {
 	}
 }
 
+// TestWindowsAndShardsEndpoints: the windowed-SLO and shard-telemetry
+// documents are published and served independently of the snapshot,
+// with the same 503-before-first-publish contract.
+func TestWindowsAndShardsEndpoints(t *testing.T) {
+	in := New()
+	srv := httptest.NewServer(in.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/obs/windows", "/obs/shards"} {
+		code, body := get(t, srv, path)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("initial %s = %d %q, want 503", path, code, body)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("initial %s body is not JSON: %q", path, body)
+		}
+	}
+
+	in.PublishWindows([]byte(`{"schema":"warehousesim-windows/v1","parts":[]}`))
+	code, body := get(t, srv, "/obs/windows")
+	if code != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("/obs/windows after publish = %d %q", code, body)
+	}
+	// /obs and /obs/shards are still unpublished.
+	if code, _ := get(t, srv, "/obs"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/obs = %d, want 503 (only windows was published)", code)
+	}
+	if code, _ := get(t, srv, "/obs/shards"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/obs/shards = %d, want 503", code)
+	}
+
+	in.PublishShards([]byte(`{"schema":"warehousesim-shards/v1","shards":2}`))
+	code, body = get(t, srv, "/obs/shards")
+	if code != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("/obs/shards after publish = %d %q", code, body)
+	}
+}
+
 func TestIndexAndNotFound(t *testing.T) {
 	srv := httptest.NewServer(New().Handler())
 	defer srv.Close()
@@ -107,6 +153,7 @@ func TestServeBindsAndStops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	in.Publish([]byte(`{}`))
 	resp, err := http.Get("http://" + bound + "/obs")
 	if err != nil {
 		t.Fatal(err)

@@ -48,7 +48,15 @@ func (h *Hist) Merge(o *Hist) {
 //   - dropped-event counts add.
 //
 // The manifest is left untouched: the coordinator composes it.
+//
+// Merging a sink into itself panics: counters would double and the
+// event merge would loop over a stream it is appending to.
 func (s *Sink) MergeFrom(parts ...*Sink) {
+	for _, p := range parts {
+		if p == s {
+			panic("obs: MergeFrom: sink passed as its own merge part")
+		}
+	}
 	for _, p := range parts {
 		for name, v := range p.counters {
 			s.counters[name] += v

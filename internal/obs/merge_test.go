@@ -96,6 +96,89 @@ func TestMergeFromDeterministic(t *testing.T) {
 	}
 }
 
+// TestMergeFromSharedSeriesOrder: when two parts recorded the same
+// series name, the fold appends their points in part order — the
+// caller's enclosure ordering, never the sharding's.
+func TestMergeFromSharedSeriesOrder(t *testing.T) {
+	a, b := NewSink(), NewSink()
+	a.Gauge("util.cpu", 1.0, 0.1)
+	a.Gauge("util.cpu", 3.0, 0.3)
+	b.Gauge("util.cpu", 2.0, 0.2)
+	out := NewSink()
+	out.MergeFrom(a, b)
+	pts := out.SeriesByName("util.cpu").Points
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	// Part a's points first (t=1, t=3), then part b's (t=2): an append,
+	// not a time interleave.
+	wantT := []float64{1, 3, 2}
+	for i, p := range pts {
+		if p.T != wantT[i] {
+			t.Errorf("point %d at t=%g, want t=%g", i, p.T, wantT[i])
+		}
+	}
+	// Histograms with the same name merge exactly: the fold sees every
+	// part's observations, whichever part recorded them.
+	ha, hb := NewSink(), NewSink()
+	ha.Observe("latency", 0.25)
+	ha.Observe("latency", 4)
+	hb.Observe("latency", 1)
+	hm := NewSink()
+	hm.MergeFrom(ha, hb)
+	if got := hm.HistByName("latency"); got.Count() != 3 || got.Min() != 0.25 || got.Max() != 4 {
+		t.Errorf("hist merge = count %d min %g max %g", got.Count(), got.Min(), got.Max())
+	}
+}
+
+// TestMergeFromEmptyAndInto: folding an empty part is a no-op, and
+// folding into an empty sink reproduces the source export.
+func TestMergeFromEmptyAndInto(t *testing.T) {
+	src := NewSink()
+	src.Count("requests", 7)
+	src.Observe("latency", 0.5)
+	src.Gauge("util.cpu", 1.0, 0.25)
+	src.Event("req", 1.0, F("i", 1))
+	var want bytes.Buffer
+	if err := src.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// No-op: merge an empty part into a populated sink.
+	src.MergeFrom(NewSink())
+	var after bytes.Buffer
+	if err := src.WriteJSONL(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), after.Bytes()) {
+		t.Error("merging an empty part changed the sink")
+	}
+
+	// Reproduce: merge the populated sink into an empty one.
+	dst := NewSink()
+	dst.MergeFrom(src)
+	var got bytes.Buffer
+	if err := dst.WriteJSONL(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("merge into empty sink lost data:\n--- want\n%s\n--- got\n%s", want.String(), got.String())
+	}
+}
+
+// TestMergeFromSelfPanics: a sink given as its own merge part would
+// double its counters and walk an event stream being appended to.
+func TestMergeFromSelfPanics(t *testing.T) {
+	s := NewSink()
+	s.Count("requests", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("MergeFrom(self) did not panic")
+		}
+	}()
+	s.MergeFrom(s)
+}
+
 // TestMergeFromTieOrder: events at identical times merge in part
 // order — the partition-independent tie-break (part order is fixed by
 // the model, e.g. enclosure index, never by the sharding).

@@ -1,0 +1,80 @@
+package window
+
+import (
+	"strings"
+
+	"warehousesim/internal/obs"
+)
+
+// Tee is an obs.Recorder that forwards everything to an inner recorder
+// unchanged and additionally routes the streams the window model
+// understands into a Collector:
+//
+//   - "request" events feed the latency histogram and violation counts
+//     (fields "latency_sec" and "qos_violation", the cluster models'
+//     per-request row);
+//   - "util.<resource>" gauges feed per-resource-class utilization
+//     (the class is the resource name's first dot-separated component,
+//     so "util.cpu.e3.b1" lands in class "cpu");
+//   - "*.hit_rate" gauges feed ratio tracks (the memory-blade and
+//     flash-cache simulators' hit-rate series).
+//
+// Wrapping the recorder instead of instrumenting every call site keeps
+// the window plane a pure stream consumer: recording call sites do not
+// change, the inner recorder sees the exact same sequence, and the
+// deterministic export is untouched.
+type Tee struct {
+	inner obs.Recorder
+	c     *Collector
+}
+
+// NewTee wraps inner; a nil collector returns inner unchanged.
+func NewTee(inner obs.Recorder, c *Collector) obs.Recorder {
+	if c == nil {
+		return inner
+	}
+	return &Tee{inner: inner, c: c}
+}
+
+// Enabled implements obs.Recorder.
+func (t *Tee) Enabled() bool { return t.inner.Enabled() }
+
+// Count implements obs.Recorder.
+func (t *Tee) Count(name string, delta int64) { t.inner.Count(name, delta) }
+
+// Gauge implements obs.Recorder.
+func (t *Tee) Gauge(name string, at, v float64) {
+	t.inner.Gauge(name, at, v)
+	if rest, ok := strings.CutPrefix(name, "util."); ok {
+		class := rest
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			class = rest[:i]
+		}
+		t.c.SampleUtil(class, at, v)
+		return
+	}
+	if strings.HasSuffix(name, ".hit_rate") {
+		t.c.Track(name, at, v)
+	}
+}
+
+// Observe implements obs.Recorder.
+func (t *Tee) Observe(name string, v float64) { t.inner.Observe(name, v) }
+
+// Event implements obs.Recorder.
+func (t *Tee) Event(stream string, at float64, fields ...obs.Field) {
+	t.inner.Event(stream, at, fields...)
+	if stream != "request" {
+		return
+	}
+	latency, violation := 0.0, false
+	for _, f := range fields {
+		switch f.Key {
+		case "latency_sec":
+			latency = f.Num
+		case "qos_violation":
+			violation = f.Num != 0
+		}
+	}
+	t.c.ObserveLatency(at, latency, violation)
+}
