@@ -12,8 +12,11 @@
 #   make shard-diff — the shard-equivalence gate on its own
 #   make slo-diff   — the windowed-SLO equivalence gate: -slo-out must be
 #                     byte-identical (whole file) across shard and par counts
-#   make introspect-smoke — start whsim -http, assert /obs/windows and
-#                     /obs/shards serve their schemas
+#   make energy-diff — the energy-telemetry equivalence gate: -energy-out
+#                     must be byte-identical (whole file) across shard and
+#                     par counts
+#   make introspect-smoke — start whsim -http, assert /obs/windows,
+#                     /obs/shards and /obs/energy serve their schemas
 #   make cover      — per-package coverage, with an 80% floor on
 #                     internal/obs/...
 
@@ -22,9 +25,9 @@ N ?= 4
 BENCH_OLD ?= BENCH_3.json
 BENCH_NEW ?= BENCH_4.json
 
-.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff slo-diff introspect-smoke cover
+.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff slo-diff energy-diff introspect-smoke cover
 
-check: vet build test-race fmt shard-diff slo-diff introspect-smoke
+check: vet build test-race fmt shard-diff slo-diff energy-diff introspect-smoke
 
 vet:
 	$(GO) vet ./...
@@ -90,15 +93,41 @@ slo-diff:
 		cmp "$$tmp/slo-p1.jsonl" "$$tmp/slo-p4.jsonl"; ok=0; }; \
 	[ $$ok -eq 1 ] && echo "slo-diff: -slo-out byte-identical across shards 1/2/4 and par 1/4" || exit 1
 
+# Energy equivalence: the -energy-out export carries no shard or
+# parallelism count anywhere (manifest included), so the gate compares
+# whole files across shard counts and ramp parallelism.
+energy-diff:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/whsim" ./cmd/whsim && \
+	for s in 1 2 4; do \
+		"$$tmp/whsim" -system emb1 -workload websearch -des -measure 20 \
+			-shards $$s -enclosures 4 -boards 2 \
+			-energy-window 1s -energy-out "$$tmp/en-s$$s.jsonl" >/dev/null 2>&1 || exit 1; \
+	done && \
+	for p in 1 4; do \
+		"$$tmp/whsim" -system emb1 -workload websearch -des -measure 20 \
+			-par $$p -energy-window 1s -energy-out "$$tmp/en-p$$p.jsonl" >/dev/null 2>&1 || exit 1; \
+	done && \
+	ok=1; \
+	for f in en-s2 en-s4; do \
+		cmp -s "$$tmp/en-s1.jsonl" "$$tmp/$$f.jsonl" || { \
+			echo "energy-diff: $$f.jsonl DIVERGED from en-s1.jsonl:"; \
+			cmp "$$tmp/en-s1.jsonl" "$$tmp/$$f.jsonl"; ok=0; }; \
+	done; \
+	cmp -s "$$tmp/en-p1.jsonl" "$$tmp/en-p4.jsonl" || { \
+		echo "energy-diff: par=4 export DIVERGED from par=1:"; \
+		cmp "$$tmp/en-p1.jsonl" "$$tmp/en-p4.jsonl"; ok=0; }; \
+	[ $$ok -eq 1 ] && echo "energy-diff: -energy-out byte-identical across shards 1/2/4 and par 1/4" || exit 1
+
 # Introspection smoke: start whsim with the live endpoints on an
-# ephemeral port, poll /obs/windows and /obs/shards until they publish,
-# and assert each serves its schema tag.
+# ephemeral port, poll /obs/windows, /obs/shards and /obs/energy until
+# they publish, and assert each serves its schema tag.
 introspect-smoke:
 	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"; kill $$pid 2>/dev/null || true' EXIT; \
 	$(GO) build -o "$$tmp/whsim" ./cmd/whsim || exit 1; \
 	: >"$$tmp/log"; \
 	"$$tmp/whsim" -system emb1 -workload websearch -des -measure 600 \
-		-shards 2 -enclosures 4 -boards 2 -slo-window 1s \
+		-shards 2 -enclosures 4 -boards 2 -slo-window 1s -energy-window 1s \
 		-http 127.0.0.1:0 >/dev/null 2>"$$tmp/log" & pid=$$!; \
 	addr=""; for i in $$(seq 1 50); do \
 		addr="$$(sed -n 's|.*serving http://\([^ ]*\) .*|\1|p' "$$tmp/log" | head -1)"; \
@@ -115,8 +144,13 @@ introspect-smoke:
 		echo "introspect-smoke: /obs/shards missing schema: $$sh"; exit 1; }; \
 	echo "$$sh" | grep -q '"shards":2' || { \
 		echo "introspect-smoke: /obs/shards does not report 2 shards: $$sh"; exit 1; }; \
+	en=""; for i in $$(seq 1 100); do \
+		en="$$(curl -sf "http://$$addr/obs/energy" 2>/dev/null)" && break; sleep 0.2; \
+	done; \
+	echo "$$en" | grep -q '"schema":"warehousesim-energy-live/v1"' || { \
+		echo "introspect-smoke: /obs/energy missing schema: $$en"; exit 1; }; \
 	kill $$pid 2>/dev/null; \
-	echo "introspect-smoke: /obs/windows and /obs/shards serve their schemas"
+	echo "introspect-smoke: /obs/windows, /obs/shards and /obs/energy serve their schemas"
 
 # Coverage with a floor on the observability packages: the windowed
 # metrics plane is the byte-compared surface, so internal/obs/... must

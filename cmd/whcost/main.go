@@ -7,12 +7,15 @@
 //	whcost -system srvr2
 //	whcost -system emb1 -tariff 170 -af 0.9
 //	whcost -system N2
+//	whcost -system emb1 -json   # machine-readable breakdown
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"warehousesim/internal/core"
 	"warehousesim/internal/core/cliflags"
@@ -32,6 +35,7 @@ func main() {
 	k2 := flag.Float64("k2", 0.667, "cooling capital factor K2")
 	af := flag.Float64("af", power.DefaultActivityFactor, "activity factor (0.5-1.0)")
 	years := flag.Float64("years", 3, "depreciation cycle")
+	jsonOut := flag.Bool("json", false, "emit the full breakdown as JSON on stdout instead of the table")
 	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
@@ -77,6 +81,70 @@ func main() {
 	}
 
 	b := model.ServerBreakdown(srv, rack)
+	if *jsonOut {
+		pw := pm.ServerConsumed(srv, rack)
+		doc := struct {
+			Schema string `json:"schema"`
+			System string `json:"system"`
+			Rack   struct {
+				Name           string `json:"name"`
+				ServersPerRack int    `json:"servers_per_rack"`
+			} `json:"rack"`
+			Params struct {
+				K1               float64 `json:"k1"`
+				L1               float64 `json:"l1"`
+				K2               float64 `json:"k2"`
+				TariffUSDPerMWh  float64 `json:"tariff_usd_per_mwh"`
+				ActivityFactor   float64 `json:"activity_factor"`
+				Years            float64 `json:"years"`
+				BurdenMultiplier float64 `json:"burden_multiplier"`
+			} `json:"params"`
+			PowerW struct {
+				CPU    float64 `json:"cpu"`
+				Memory float64 `json:"memory"`
+				Disk   float64 `json:"disk"`
+				Board  float64 `json:"board"`
+				Fan    float64 `json:"fan"`
+				Flash  float64 `json:"flash"`
+				Switch float64 `json:"switch"`
+				Total  float64 `json:"total"`
+			} `json:"power_watts"`
+			HardwareUSD     map[string]float64 `json:"hardware_usd"`
+			PowerCoolingUSD map[string]float64 `json:"power_cooling_usd"`
+			Totals          struct {
+				HardwareUSD     float64 `json:"hardware_usd"`
+				PowerCoolingUSD float64 `json:"power_cooling_usd"`
+				TCOUSD          float64 `json:"tco_usd"`
+			} `json:"totals"`
+		}{Schema: "warehousesim-cost/v1", System: *system}
+		doc.Rack.Name = rack.Name
+		doc.Rack.ServersPerRack = rack.ServersPerRack
+		doc.Params.K1, doc.Params.L1, doc.Params.K2 = pc.K1, pc.L1, pc.K2
+		doc.Params.TariffUSDPerMWh = pc.TariffUSDPerMWh
+		doc.Params.ActivityFactor = pm.ActivityFactor
+		doc.Params.Years = pc.Years
+		doc.Params.BurdenMultiplier = pc.BurdenMultiplier()
+		doc.PowerW.CPU, doc.PowerW.Memory, doc.PowerW.Disk = pw.CPUW, pw.MemoryW, pw.DiskW
+		doc.PowerW.Board, doc.PowerW.Fan, doc.PowerW.Flash = pw.BoardW, pw.FanW, pw.FlashW
+		doc.PowerW.Switch, doc.PowerW.Total = pw.SwitchW, pw.TotalW()
+		doc.HardwareUSD = map[string]float64{
+			"cpu": b.CPUHW, "memory": b.MemHW, "disk": b.DiskHW, "board": b.BoardHW,
+			"fan": b.FanHW, "flash": b.FlashHW, "rack": b.RackHW,
+		}
+		doc.PowerCoolingUSD = map[string]float64{
+			"cpu": b.CPUPC, "memory": b.MemPC, "disk": b.DiskPC, "board": b.BoardPC,
+			"fan": b.FanPC, "flash": b.FlashPC, "rack": b.RackPC,
+		}
+		doc.Totals.HardwareUSD = b.HardwareUSD()
+		doc.Totals.PowerCoolingUSD = b.PowerCoolingUSD()
+		doc.Totals.TCOUSD = b.TotalUSD()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("system %s in %s (%d servers/rack)\n", *system, rack.Name, rack.ServersPerRack)
 	fmt.Printf("burden multiplier %.4f, tariff $%.0f/MWh, AF %.2f, %g years\n\n",
 		pc.BurdenMultiplier(), pc.TariffUSDPerMWh, pm.ActivityFactor, pc.Years)

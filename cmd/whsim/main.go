@@ -9,6 +9,7 @@
 //	whsim -system desk -workload webmail -des   # discrete-event run
 //	whsim -system emb1 -workload websearch -des -obs -obs-out run.jsonl
 //	whsim -system emb1 -workload websearch -des -trace-out run.trace.json -attr-out attr.csv
+//	whsim -system emb1 -workload websearch -des -energy-window 1s -energy-out energy.jsonl
 //	whsim -system emb1 -workload websearch -des -obs -http :6060
 package main
 
@@ -23,14 +24,17 @@ import (
 	"time"
 
 	"warehousesim/internal/cluster"
+	"warehousesim/internal/cooling"
 	"warehousesim/internal/core"
 	"warehousesim/internal/core/cliflags"
 	"warehousesim/internal/des/shard"
 	"warehousesim/internal/metrics"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/energy"
 	"warehousesim/internal/obs/span"
 	"warehousesim/internal/obs/window"
 	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
 	"warehousesim/internal/workload"
 )
 
@@ -89,11 +93,15 @@ func main() {
 	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth request by arrival index (deterministic; 1 = all)")
 	sharding := cliflags.AddSharding(flag.CommandLine)
 	sloFlags := cliflags.AddSLO(flag.CommandLine)
+	energyFlags := cliflags.AddEnergy(flag.CommandLine)
 	httpFlag := cliflags.AddHTTP(flag.CommandLine, "/obs snapshot")
 	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
 	// Flag validation: fail on nonsense, warn on silently-dead flags.
+	if err := cliflags.Validate(sharding, sloFlags, energyFlags); err != nil {
+		log.Fatal(err)
+	}
 	if *measure <= 0 {
 		log.Fatalf("-measure must be positive, got %g", *measure)
 	}
@@ -107,9 +115,10 @@ func main() {
 	// but only an explicit ask should write an obs file.
 	exportObs := obsFlags.Enabled() || tracing
 	sloOn := sloFlags.Enabled()
-	// The windowed-SLO plane taps the recorder stream, so it needs a
-	// sink even when no obs export was asked for.
-	obsOn := exportObs || sloOn
+	energyOn := energyFlags.Enabled()
+	// The windowed-SLO and energy planes tap the recorder stream, so
+	// they need a sink even when no obs export was asked for.
+	obsOn := exportObs || sloOn || energyOn
 	if !*useDES {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -120,6 +129,9 @@ func main() {
 		})
 		if sloOn {
 			log.Fatal("-slo-window collects windowed metrics from the discrete-event run; add -des")
+		}
+		if energyOn {
+			log.Fatal("-energy-window derives watts from the discrete-event run; add -des")
 		}
 		if obsOn {
 			log.Fatal("-obs instruments the discrete-event run; add -des")
@@ -139,9 +151,11 @@ func main() {
 		})
 	}
 	if !sharding.Enabled() {
+		// -shard-diag without -shards is an error (cliflags.Validate above);
+		// the sizing flags merely default and only warrant a warning.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "enclosures", "boards", "clients-per-board", "shard-diag":
+			case "enclosures", "boards", "clients-per-board":
 				log.Printf("warning: -%s has no effect without -shards", f.Name)
 			}
 		})
@@ -152,7 +166,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if intro != nil {
-		log.Printf("introspection: serving http://%s (/obs, /obs/windows, /obs/shards, /debug/pprof) for the process lifetime", bound)
+		log.Printf("introspection: serving http://%s (/obs, /obs/windows, /obs/shards, /obs/energy, /debug/pprof) for the process lifetime", bound)
 		if *useDES {
 			obsOn = true
 		}
@@ -215,6 +229,16 @@ func main() {
 			sink = obs.NewSink()
 			opts.Obs = sink
 			opts.SLOWindowSec = sloFlags.WindowSec()
+			if energyOn {
+				pb, err := ev.PowerBreakdown(d)
+				if err != nil {
+					log.Fatal(err)
+				}
+				opts.Energy = &energy.Config{
+					WidthSec: energyFlags.WindowSec(),
+					Model:    energy.Model{Active: pb, Idle: power.DefaultIdleFractions()},
+				}
+			}
 			if tracing {
 				opts.TraceEvery = *traceEvery
 			}
@@ -238,6 +262,11 @@ func main() {
 				if len(live.SLO) > 0 {
 					if b, err := window.LiveSnapshot(live.SLO); err == nil {
 						intro.PublishWindows(b)
+					}
+				}
+				if len(live.Energy) > 0 {
+					if b, err := energy.LiveSnapshot(live.Energy); err == nil {
+						intro.PublishEnergy(b)
 					}
 				}
 				if b, err := json.Marshal(shardsDoc{
@@ -293,6 +322,24 @@ func main() {
 					log.Fatal(err)
 				}
 				log.Printf("slo: wrote %s (%d windows; byte-identical at any -shards/-par)", path, len(ws))
+			}
+		}
+
+		if res.Energy != nil {
+			t := res.Energy.Totals()
+			prop := res.Energy.Proportionality()
+			fmt.Printf("  energy: %.0f J over %.0f s (%d windows of %gs); mean %.1f W vs static %.1f W\n",
+				t.Joules, t.SpanSec, t.Windows, opts.Energy.WidthSec, t.MeanW, t.StaticW)
+			fmt.Printf("  energy: %.2f J/req, %.2f J/good-req, %.4g req/J; proportionality slope %.1f W/util, intercept %.1f W\n",
+				t.JoulesPerRequest, t.JoulesPerGoodRequest, t.PerfPerWatt, prop.SlopeWPerUtil, prop.InterceptW)
+			if rollup, err := res.Energy.TCO(ev.Cost.PC, cooling.EnclosureFor(d.Enclosure)); err == nil {
+				fmt.Printf("  energy tco: %s\n", rollup)
+			}
+			if path := energyFlags.OutPath(); path != "" {
+				if err := res.Energy.WriteFile(path); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("energy: wrote %s (%d windows; byte-identical at any -shards/-par)", path, t.Windows)
 			}
 		}
 

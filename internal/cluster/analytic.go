@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"warehousesim/internal/obs/energy"
 	"warehousesim/internal/obs/window"
 	"warehousesim/internal/workload"
 )
@@ -39,6 +40,12 @@ type Result struct {
 	// used to attribute episode blast radius in the export.
 	SLO      *window.Collector
 	SLOParts []*window.Collector
+	// Energy is the merged energy collector of an instrumented DES run
+	// configured with SimOptions.Energy (nil otherwise); EnergyParts are
+	// the per-partition collectors behind it, in the same part order as
+	// SLOParts.
+	Energy      *energy.Collector
+	EnergyParts []*energy.Collector
 }
 
 // bestEffortUtil is the utilization at which throughput is reported when

@@ -8,6 +8,7 @@ import (
 	"warehousesim/internal/des"
 	"warehousesim/internal/des/shard"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/energy"
 	"warehousesim/internal/obs/span"
 	"warehousesim/internal/obs/window"
 	"warehousesim/internal/stats"
@@ -86,6 +87,17 @@ type SimOptions struct {
 	// result or the existing export streams.
 	SLOWindowSec float64
 
+	// Energy, when non-nil, turns on the time-resolved energy telemetry
+	// plane: the instrumented run folds its utilization and request
+	// streams into tumbling windows of Energy.WidthSec simulated
+	// seconds, derives watts per window from Energy.Model's idle/active
+	// split (see internal/obs/energy), emits the run's energy.* totals
+	// into Obs, and Result.Energy carries the merged collector. Like the
+	// windowed-SLO plane it rides the instrumented replay — it requires
+	// an enabled Obs and never changes the reported result or the
+	// existing export streams.
+	Energy *energy.Config
+
 	// OnLive, when non-nil, fires once per run just before the
 	// instrumented simulation starts, handing the caller the live
 	// introspection handles: the per-partition window collectors and,
@@ -104,6 +116,9 @@ type LiveHandles struct {
 	// one per enclosure plus the rack-global part for Topology runs).
 	// Only Collector.LiveSummaries is safe concurrently.
 	SLO []*window.Collector
+	// Energy holds the per-partition energy collectors in the same part
+	// order as SLO. Only Collector.LiveWindows is safe concurrently.
+	Energy []*energy.Collector
 	// ShardStats returns the engine's live per-shard counters.
 	ShardStats func() []shard.LiveStats
 	// Shards and LookaheadSec describe the engine behind ShardStats.
@@ -144,6 +159,11 @@ func (o SimOptions) Normalize() (SimOptions, error) {
 	}
 	if o.SLOWindowSec < 0 || math.IsInf(o.SLOWindowSec, 0) || math.IsNaN(o.SLOWindowSec) {
 		return o, fmt.Errorf("cluster: invalid SLO window width %g", o.SLOWindowSec)
+	}
+	if o.Energy != nil {
+		if _, err := energy.New(*o.Energy); err != nil {
+			return o, fmt.Errorf("cluster: %w", err)
+		}
 	}
 	if o.ProbeIntervalSec == 0 {
 		o.ProbeIntervalSec = 1
@@ -203,6 +223,16 @@ func newSLOCollector(p workload.Profile, opt SimOptions) (*window.Collector, err
 		QoSLatencySec: p.QoSLatencySec,
 		QoSPercentile: p.QoSPercentile,
 	})
+}
+
+// newEnergyCollector builds the energy-telemetry collector for one
+// partition of an instrumented run, or nil when the plane is off
+// (Energy unset or no enabled recorder to ride).
+func newEnergyCollector(opt SimOptions) (*energy.Collector, error) {
+	if opt.Energy == nil || !obs.On(opt.Obs) {
+		return nil, nil
+	}
+	return energy.New(*opt.Energy)
 }
 
 // trialOutcome summarizes one closed-loop trial at a fixed client count.
@@ -315,6 +345,10 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	if err != nil {
 		return Result{}, err
 	}
+	en, err := newEnergyCollector(opt)
+	if err != nil {
+		return Result{}, err
+	}
 
 	best := trialOutcome{}
 	bestN := 0
@@ -329,33 +363,42 @@ func (c Config) simulateInteractive(gen workload.Generator, p workload.Profile, 
 	// replay re-runs the chosen operating point with the recorder
 	// attached. Same seed, same trajectory: the instrumented replay's
 	// outcome matches the recorded best exactly, so -obs never changes
-	// the reported numbers. The windowed-SLO tee wraps only this replay
-	// — the search stays uninstrumented — so the window stream is a pure
-	// function of the chosen operating point and the seed.
+	// the reported numbers. The windowed-SLO and energy tees wrap only
+	// this replay — the search stays uninstrumented — so the window
+	// streams are a pure function of the chosen operating point and the
+	// seed.
 	replay := func(n int, s uint64) {
 		if !obs.On(opt.Obs) {
 			return
 		}
-		rec := window.NewTee(opt.Obs, slo)
+		rec := energy.NewTee(window.NewTee(opt.Obs, slo), en)
 		if opt.OnLive != nil {
 			handles := LiveHandles{}
 			if slo != nil {
 				handles.SLO = []*window.Collector{slo}
 			}
+			if en != nil {
+				handles.Energy = []*energy.Collector{en}
+			}
 			opt.OnLive(handles)
 		}
 		ctx.run(gen, p, n, opt, s, rec)
 	}
-	// finishSLO seals the collector at the replay's horizon, reduces it
-	// to QoS episodes, and publishes both into the deterministic stream
-	// and the result.
+	// finishSLO seals the collectors at the replay's horizon, reduces
+	// the SLO timeline to QoS episodes and the energy timeline to run
+	// totals, and publishes both into the deterministic stream and the
+	// result.
 	finishSLO := func(res *Result) {
-		if slo == nil {
-			return
+		if slo != nil {
+			slo.Seal(opt.WarmupSec + opt.MeasureSec)
+			slo.EmitEpisodes(opt.Obs, slo.Episodes())
+			res.SLO = slo
 		}
-		slo.Seal(opt.WarmupSec + opt.MeasureSec)
-		slo.EmitEpisodes(opt.Obs, slo.Episodes())
-		res.SLO = slo
+		if en != nil {
+			en.Seal(opt.WarmupSec + opt.MeasureSec)
+			en.EmitTotals(opt.Obs)
+			res.Energy = en
+		}
 	}
 
 	// Exponential ramp: speculative-parallel when allowed, else
@@ -513,7 +556,11 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 	if err != nil {
 		return Result{}, err
 	}
-	rec := window.NewTee(opt.Obs, slo)
+	en, err := newEnergyCollector(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	rec := energy.NewTee(window.NewTee(opt.Obs, slo), en)
 	b.rec = rec
 	b.recording = obs.On(rec)
 	b.gen = gen
@@ -550,6 +597,9 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 		if slo != nil {
 			handles.SLO = []*window.Collector{slo}
 		}
+		if en != nil {
+			handles.Energy = []*energy.Collector{en}
+		}
 		opt.OnLive(handles)
 	}
 	b.sim.Run(des.Time(math.MaxFloat64))
@@ -581,6 +631,11 @@ func (c Config) simulateBatch(gen workload.Generator, p workload.Profile, opt Si
 		slo.Seal(exec)
 		slo.EmitEpisodes(opt.Obs, slo.Episodes())
 		res.SLO = slo
+	}
+	if en != nil {
+		en.Seal(exec)
+		en.EmitTotals(opt.Obs)
+		res.Energy = en
 	}
 	return res, nil
 }

@@ -52,6 +52,7 @@ import (
 	"warehousesim/internal/des/shard"
 	"warehousesim/internal/fabric"
 	"warehousesim/internal/obs"
+	"warehousesim/internal/obs/energy"
 	"warehousesim/internal/obs/span"
 	"warehousesim/internal/obs/window"
 	"warehousesim/internal/stats"
@@ -140,13 +141,14 @@ type rackSim struct {
 	encs   []*rackEnclosure
 	boards []*rackBoard // global board order: enclosure-major
 
-	sh0       *shard.Shard
-	san       *des.Resource
-	sanEnt    shard.EntityID
-	aggEnt    shard.EntityID
-	global    *obs.Sink    // rack-global recording part (SAN probes, run counters)
-	globalRec obs.Recorder // global, tee'd through globalSLO when windowing
-	globalSLO *window.Collector
+	sh0          *shard.Shard
+	san          *des.Resource
+	sanEnt       shard.EntityID
+	aggEnt       shard.EntityID
+	global       *obs.Sink    // rack-global recording part (SAN probes, run counters)
+	globalRec    obs.Recorder // global, tee'd through globalSLO/globalEnergy when windowing
+	globalSLO    *window.Collector
+	globalEnergy *energy.Collector
 
 	aggDone   int
 	aggTotal  int
@@ -173,8 +175,9 @@ type rackEnclosure struct {
 
 	recording bool
 	sink      *obs.Sink
-	rec       obs.Recorder // sink, tee'd through slo when windowing
+	rec       obs.Recorder // sink, tee'd through slo/energy when windowing
 	slo       *window.Collector
+	energy    *energy.Collector
 	gen       workload.Generator
 	tracer    *span.Tracer
 	evFields  [3]obs.Field
@@ -523,6 +526,17 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 				}
 				enc.rec = window.NewTee(enc.sink, enc.slo)
 			}
+			if opt.Energy != nil {
+				// Same discipline as the window collectors: one energy
+				// collector per enclosure, windows assigned by observation
+				// time, merged in enclosure order after the run — identical
+				// at every shard count.
+				enc.energy, err = energy.New(*opt.Energy)
+				if err != nil {
+					return nil, err
+				}
+				enc.rec = energy.NewTee(enc.rec, enc.energy)
+			}
 			if opt.TraceEvery > 0 {
 				// Disjoint id bases keep span ids unique across the
 				// per-enclosure tracers.
@@ -560,6 +574,13 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 				return nil, err
 			}
 			r.globalRec = window.NewTee(r.global, r.globalSLO)
+		}
+		if opt.Energy != nil {
+			r.globalEnergy, err = energy.New(*opt.Energy)
+			if err != nil {
+				return nil, err
+			}
+			r.globalRec = energy.NewTee(r.globalRec, r.globalEnergy)
 		}
 	}
 	return r, nil
@@ -605,6 +626,20 @@ func (r *rackSim) sloParts() []*window.Collector {
 	return append(parts, r.globalSLO)
 }
 
+// energyParts returns the run's energy collectors in the canonical
+// merge order — enclosures, then the rack-global part — or nil when the
+// energy plane is off.
+func (r *rackSim) energyParts() []*energy.Collector {
+	if r.globalEnergy == nil {
+		return nil
+	}
+	parts := make([]*energy.Collector, 0, len(r.encs)+1)
+	for _, enc := range r.encs {
+		parts = append(parts, enc.energy)
+	}
+	return append(parts, r.globalEnergy)
+}
+
 // fireOnLive hands the caller the live introspection handles just
 // before the engine runs: the per-part window collectors and the shard
 // engine's live counters.
@@ -614,6 +649,7 @@ func (r *rackSim) fireOnLive() {
 	}
 	r.opt.OnLive(LiveHandles{
 		SLO:          r.sloParts(),
+		Energy:       r.energyParts(),
 		ShardStats:   r.eng.LiveStats,
 		Shards:       r.eng.Shards(),
 		LookaheadSec: float64(r.la),
@@ -642,6 +678,28 @@ func (r *rackSim) finishSLO(horizon float64, res *Result) {
 	merged.EmitEpisodes(r.opt.Obs, merged.Episodes(parts...))
 	res.SLO = merged
 	res.SLOParts = parts
+}
+
+// finishEnergy seals every energy part at the run's horizon, folds them
+// in the canonical part order, and emits the run totals into the merged
+// deterministic sink — the same discipline as finishSLO, so the energy
+// export is byte-identical at any shard count. Call after finishObs.
+func (r *rackSim) finishEnergy(horizon float64, res *Result) {
+	parts := r.energyParts()
+	if parts == nil {
+		return
+	}
+	for _, p := range parts {
+		p.Seal(horizon)
+	}
+	merged, err := energy.New(parts[0].Config())
+	if err != nil {
+		return // unreachable: the parts were built from this config
+	}
+	merged.MergeFrom(parts...)
+	merged.EmitTotals(r.opt.Obs)
+	res.Energy = merged
+	res.EnergyParts = parts
 }
 
 // setupInteractive populates every board with its closed-loop clients
@@ -807,6 +865,7 @@ func (c Config) rackInteractive(gen workload.Generator, p workload.Profile, opt 
 	}
 	r.finishObs(clients)
 	r.finishSLO(opt.WarmupSec+opt.MeasureSec, &out)
+	r.finishEnergy(opt.WarmupSec+opt.MeasureSec, &out)
 	if r.opt.ShardDiag != nil {
 		r.eng.EmitDiagnostics(r.opt.ShardDiag)
 	}
@@ -864,5 +923,6 @@ func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOpt
 		Clients:     clients,
 	}
 	measured.finishSLO(exec, &out)
+	measured.finishEnergy(exec, &out)
 	return out, nil
 }

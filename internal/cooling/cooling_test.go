@@ -109,6 +109,41 @@ func TestThermalResistancePanics(t *testing.T) {
 	ThermalResistance(0, 1, 1)
 }
 
+// Edge inputs: negative IT power draws no fans, an enclosure whose
+// pre-heat consumes the whole air budget floors at a 1C rise instead of
+// dividing by zero (or going negative), and the degenerate geometry
+// still produces finite positive fan power.
+func TestFanPowerEdgeInputs(t *testing.T) {
+	for _, d := range []Design{Conventional, DualEntry, AggregatedMicroblade} {
+		if got := EnclosureFor(d).FanPowerW(-50); got != 0 {
+			t.Errorf("%v: fan power for negative IT = %g, want 0", d, got)
+		}
+	}
+	hot := EnclosureFor(Conventional)
+	hot.PreheatC = maxAirTempC - inletTempC + 10 // pre-heat past the exhaust limit
+	if got := hot.allowedRiseC(); got != 1 {
+		t.Errorf("over-preheated rise = %g, want the 1C floor", got)
+	}
+	fan := hot.FanPowerW(100)
+	if math.IsNaN(fan) || math.IsInf(fan, 0) || fan <= 0 {
+		t.Errorf("over-preheated fan power = %g, want finite positive", fan)
+	}
+	// The floor makes an impossibly pre-heated enclosure strictly worse
+	// than the design geometry, never better.
+	if fan <= EnclosureFor(Conventional).FanPowerW(100) {
+		t.Errorf("over-preheated enclosure got cheaper fans: %g", fan)
+	}
+}
+
+func TestThermalResistanceRejectsBadArea(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero area did not panic")
+		}
+	}()
+	ThermalResistance(copperConductivity, 0.1, 0)
+}
+
 func TestDesignString(t *testing.T) {
 	for d, want := range map[Design]string{
 		Conventional:         "conventional-1U",

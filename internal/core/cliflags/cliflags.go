@@ -121,6 +121,7 @@ func (h *HTTP) Serve() (srv *introspect.Server, bound string, err error) {
 // -enclosures/-boards/-clients-per-board sizing the rack and
 // -shard-diag exporting the engine's synchronization diagnostics.
 type Sharding struct {
+	fs                                  *flag.FlagSet
 	shards, enclosures, boards, clients *int
 	diagOut                             *string
 }
@@ -128,6 +129,7 @@ type Sharding struct {
 // AddSharding registers the rack flags.
 func AddSharding(fs *flag.FlagSet) *Sharding {
 	return &Sharding{
+		fs: fs,
 		shards: fs.Int("shards", 0,
 			"run the sharded multi-enclosure rack model with this many event heaps (0 = flat single-server model; results are identical at every value >= 1)"),
 		enclosures: fs.Int("enclosures", 4, "rack enclosures (with -shards)"),
@@ -159,9 +161,20 @@ func (s *Sharding) Topology() *cluster.ShardedTopology {
 // DiagOut returns the -shard-diag path ("" when unset).
 func (s *Sharding) DiagOut() string { return *s.diagOut }
 
+// Validate rejects contradictory combinations instead of silently
+// ignoring them: -shard-diag asks for the shard engine's diagnostics,
+// which only exist when -shards selects the rack model.
+func (s *Sharding) Validate() error {
+	if *s.diagOut != "" && !s.Enabled() {
+		return fmt.Errorf("-shard-diag %s needs the sharded rack model: pass -shards N (the flat model has no shard engine to diagnose)", *s.diagOut)
+	}
+	return nil
+}
+
 // SLO is the -slo-window/-slo-out pair for the windowed SLO metrics
 // plane.
 type SLO struct {
+	fs     *flag.FlagSet
 	window *time.Duration
 	out    *string
 }
@@ -169,6 +182,7 @@ type SLO struct {
 // AddSLO registers the windowed-SLO flags.
 func AddSLO(fs *flag.FlagSet) *SLO {
 	return &SLO{
+		fs: fs,
 		window: fs.Duration("slo-window", 0,
 			"collect windowed SLO metrics over tumbling windows of this simulated-time width, e.g. 1s (implies -obs)"),
 		out: fs.String("slo-out", "",
@@ -195,3 +209,76 @@ func (s *SLO) Enabled() bool { return s.WindowSec() > 0 }
 
 // OutPath returns the -slo-out path ("" when unset).
 func (s *SLO) OutPath() string { return *s.out }
+
+// Validate rejects contradictory combinations. "-slo-out implies
+// -slo-window 1s" stays (WindowSec), but an explicit "-slo-window 0"
+// alongside -slo-out asks for an export of a plane it just disabled —
+// that's an error, not a silent empty file.
+func (s *SLO) Validate() error {
+	if *s.out == "" || *s.window > 0 {
+		return nil
+	}
+	explicitZero := false
+	s.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "slo-window" {
+			explicitZero = true
+		}
+	})
+	if explicitZero {
+		return fmt.Errorf("-slo-out %s conflicts with -slo-window 0: the export needs a window width (drop -slo-window to get the 1s default, or pass a positive width)", *s.out)
+	}
+	return nil
+}
+
+// Energy is the -energy-window/-energy-out pair for the time-resolved
+// energy plane.
+type Energy struct {
+	window *time.Duration
+	out    *string
+}
+
+// AddEnergy registers the energy-plane flags.
+func AddEnergy(fs *flag.FlagSet) *Energy {
+	return &Energy{
+		window: fs.Duration("energy-window", 0,
+			"derive watts/joules from recorded utilization over tumbling windows of this simulated-time width, e.g. 1s (implies -obs)"),
+		out: fs.String("energy-out", "",
+			"write the energy export (windows, totals, proportionality curve) here as JSONL (requires -energy-window)"),
+	}
+}
+
+// WindowSec returns the energy window width in simulated seconds
+// (0 = energy plane off). Widths are validated downstream by
+// SimOptions.Normalize.
+func (e *Energy) WindowSec() float64 { return e.window.Seconds() }
+
+// Enabled reports whether energy collection was requested.
+func (e *Energy) Enabled() bool { return *e.window > 0 }
+
+// OutPath returns the -energy-out path ("" when unset).
+func (e *Energy) OutPath() string { return *e.out }
+
+// Validate rejects -energy-out without a window width: unlike -slo-out
+// there is no implied default, because the energy integral's resolution
+// is a modeling choice the caller must make.
+func (e *Energy) Validate() error {
+	if *e.out != "" && *e.window <= 0 {
+		return fmt.Errorf("-energy-out %s requires -energy-window (e.g. -energy-window 1s): the export needs a window width", *e.out)
+	}
+	return nil
+}
+
+// Validator is any flag group with cross-flag consistency rules.
+type Validator interface{ Validate() error }
+
+// Validate runs every group's cross-flag checks and returns the first
+// error. Mains call it once after flag.Parse so contradictory flag
+// combinations fail loudly instead of being silently ignored.
+func Validate(groups ...Validator) error {
+	for _, g := range groups {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

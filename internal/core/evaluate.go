@@ -9,6 +9,7 @@ import (
 	"warehousesim/internal/flashcache"
 	"warehousesim/internal/metrics"
 	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/workload"
 )
@@ -116,6 +117,18 @@ func (ev *Evaluator) ClusterConfig(d Design, p workload.Profile) (cluster.Config
 		return cluster.Config{}, err
 	}
 	return ev.clusterConfig(resolved, p)
+}
+
+// PowerBreakdown resolves a design and returns its per-component
+// consumed-power split under the evaluator's cost model — the active
+// (activity-factored) draw the time-resolved energy plane scales by
+// observed utilization (obs/energy.Model.Active).
+func (ev *Evaluator) PowerBreakdown(d Design) (power.Breakdown, error) {
+	resolved, err := d.Resolve()
+	if err != nil {
+		return power.Breakdown{}, err
+	}
+	return ev.Cost.Power.ServerConsumed(resolved.Server, resolved.Rack), nil
 }
 
 // Evaluate measures one design on the given workload profiles and

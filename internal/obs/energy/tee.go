@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"strings"
+
+	"warehousesim/internal/obs"
+)
+
+// Tee is an obs.Recorder that forwards everything to an inner recorder
+// unchanged and additionally routes the streams the energy model
+// consumes into a Collector:
+//
+//   - "request" events feed the per-window request and QoS-violation
+//     counts (field "qos_violation", the cluster models' per-request
+//     row);
+//   - "util.<resource>" gauges feed per-resource-class utilization
+//     (class = the resource name's first dot-separated component, so
+//     "util.cpu.e3.b1" lands in class "cpu") — the samples the window's
+//     watts derive from.
+//
+// Like window.Tee, wrapping the recorder keeps the energy plane a pure
+// stream consumer: recording call sites do not change, the inner
+// recorder sees the exact same sequence, and the deterministic obs
+// export is untouched. The two tees stack: the energy tee typically
+// wraps the windowed-SLO tee, which wraps the run sink.
+type Tee struct {
+	inner obs.Recorder
+	c     *Collector
+}
+
+// NewTee wraps inner; a nil collector returns inner unchanged.
+func NewTee(inner obs.Recorder, c *Collector) obs.Recorder {
+	if c == nil {
+		return inner
+	}
+	return &Tee{inner: inner, c: c}
+}
+
+// Enabled implements obs.Recorder.
+func (t *Tee) Enabled() bool { return t.inner.Enabled() }
+
+// Count implements obs.Recorder.
+func (t *Tee) Count(name string, delta int64) { t.inner.Count(name, delta) }
+
+// Gauge implements obs.Recorder.
+func (t *Tee) Gauge(name string, at, v float64) {
+	t.inner.Gauge(name, at, v)
+	if rest, ok := strings.CutPrefix(name, "util."); ok {
+		class := rest
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			class = rest[:i]
+		}
+		t.c.SampleUtil(class, at, v)
+	}
+}
+
+// Observe implements obs.Recorder.
+func (t *Tee) Observe(name string, v float64) { t.inner.Observe(name, v) }
+
+// Event implements obs.Recorder.
+func (t *Tee) Event(stream string, at float64, fields ...obs.Field) {
+	t.inner.Event(stream, at, fields...)
+	if stream != "request" {
+		return
+	}
+	violation := false
+	for _, f := range fields {
+		if f.Key == "qos_violation" {
+			violation = f.Num != 0
+		}
+	}
+	t.c.ObserveRequest(at, violation)
+}

@@ -37,6 +37,7 @@ type Server struct {
 	snap    []byte
 	windows []byte
 	shards  []byte
+	energy  []byte
 }
 
 // New returns an endpoint with no published documents; every document
@@ -69,6 +70,14 @@ func (in *Server) PublishShards(b []byte) {
 	in.mu.Unlock()
 }
 
+// PublishEnergy replaces the served energy document (see
+// energy.LiveSnapshot). The caller must not modify b afterwards.
+func (in *Server) PublishEnergy(b []byte) {
+	in.mu.Lock()
+	in.energy = b
+	in.mu.Unlock()
+}
+
 // Latest returns the most recently published snapshot bytes (nil
 // before the first Publish).
 func (in *Server) Latest() []byte {
@@ -98,6 +107,7 @@ func (in *Server) serveDoc(w http.ResponseWriter, endpoint string, read func() [
 //	/obs          latest snapshot (progress, counters, gauges, hists)
 //	/obs/windows  live windowed-SLO summaries per partition
 //	/obs/shards   live shard-kernel self-telemetry
+//	/obs/energy   live per-partition energy windows (watts, joules)
 //	/debug/pprof  the standard runtime profiling endpoints
 func (in *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -111,6 +121,7 @@ func (in *Server) Handler() http.Handler {
 			"  /obs           latest obs snapshot (progress, counters, gauges, hists)\n"+
 			"  /obs/windows   live windowed-SLO summaries per partition\n"+
 			"  /obs/shards    live shard-kernel self-telemetry\n"+
+			"  /obs/energy    live per-partition energy windows (watts, joules)\n"+
 			"  /debug/pprof/  runtime profiles (heap, profile, trace, ...)\n")
 	})
 	mux.HandleFunc("/obs", func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +132,9 @@ func (in *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/obs/shards", func(w http.ResponseWriter, r *http.Request) {
 		in.serveDoc(w, "/obs/shards", func() []byte { return in.shards })
+	})
+	mux.HandleFunc("/obs/energy", func(w http.ResponseWriter, r *http.Request) {
+		in.serveDoc(w, "/obs/energy", func() []byte { return in.energy })
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -95,7 +95,7 @@ func TestWindowsAndShardsEndpoints(t *testing.T) {
 	srv := httptest.NewServer(in.Handler())
 	defer srv.Close()
 
-	for _, path := range []string{"/obs/windows", "/obs/shards"} {
+	for _, path := range []string{"/obs/windows", "/obs/shards", "/obs/energy"} {
 		code, body := get(t, srv, path)
 		if code != http.StatusServiceUnavailable {
 			t.Fatalf("initial %s = %d %q, want 503", path, code, body)
@@ -122,6 +122,15 @@ func TestWindowsAndShardsEndpoints(t *testing.T) {
 	code, body = get(t, srv, "/obs/shards")
 	if code != http.StatusOK || !json.Valid(body) {
 		t.Fatalf("/obs/shards after publish = %d %q", code, body)
+	}
+
+	if code, _ := get(t, srv, "/obs/energy"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/obs/energy = %d, want 503 (never published)", code)
+	}
+	in.PublishEnergy([]byte(`{"schema":"warehousesim-energy-live/v1","parts":[]}`))
+	code, body = get(t, srv, "/obs/energy")
+	if code != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("/obs/energy after publish = %d %q", code, body)
 	}
 }
 

@@ -162,6 +162,30 @@ func Emb2() Server {
 	}
 }
 
+// ComponentIdleFractions is the catalog's idle-power table: for each
+// cost-model component class, the fraction of its active (spec-sheet,
+// activity-factor-scaled) power it still draws when the class sits
+// idle. The split follows the shape of Fan et al.'s provisioning data —
+// an idle server draws roughly half to two thirds of its peak — with
+// the dynamic range concentrated where it physically lives: cores gate
+// clocks aggressively, DRAM pays refresh regardless of traffic, disks
+// keep spinning, and board/switch electronics are nearly
+// load-invariant. Uniform across the six platforms (the paper gives no
+// per-platform idle data); the energy telemetry plane interpolates
+// linearly between idle and active with utilization, and a fraction of
+// 1.0 degenerates to the static model.
+func ComponentIdleFractions() map[string]float64 {
+	return map[string]float64{
+		"cpu":    0.35, // clock gating; deep C-states were rare in 2008 parts
+		"memory": 0.70, // refresh + standby dominates DRAM draw
+		"disk":   0.80, // spindle keeps turning between accesses
+		"board":  0.90, // chipset, VRM losses, management controller
+		"fan":    0.60, // fans track thermal load with a floor
+		"flash":  0.20, // NAND idles near zero
+		"switch": 0.85, // switch fabric is powered regardless of traffic
+	}
+}
+
 // All returns the six paper platforms in the paper's presentation order.
 func All() []Server {
 	return []Server{Srvr1(), Srvr2(), Desk(), Mobl(), Emb1(), Emb2()}

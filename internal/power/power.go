@@ -33,6 +33,93 @@ func (b Breakdown) TotalW() float64 {
 	return b.CPUW + b.MemoryW + b.DiskW + b.BoardW + b.FanW + b.FlashW + b.SwitchW
 }
 
+// IdleFractions is the idle/active power split per component class: the
+// fraction of a class's active watts it still draws at zero
+// utilization. The utilization-conditioned power model interpolates
+// linearly between idle and active (Breakdown.At); all fractions at 1.0
+// collapse it to the static model exactly, which is the degenerate case
+// the energy telemetry tests pin bit-for-bit.
+type IdleFractions struct {
+	CPU    float64
+	Memory float64
+	Disk   float64
+	Board  float64
+	Fan    float64
+	Flash  float64
+	Switch float64
+}
+
+// DefaultIdleFractions returns the platform catalog's idle-power table
+// (platform.ComponentIdleFractions) as a typed split.
+func DefaultIdleFractions() IdleFractions {
+	f := platform.ComponentIdleFractions()
+	return IdleFractions{
+		CPU:    f["cpu"],
+		Memory: f["memory"],
+		Disk:   f["disk"],
+		Board:  f["board"],
+		Fan:    f["fan"],
+		Flash:  f["flash"],
+		Switch: f["switch"],
+	}
+}
+
+// StaticIdleFractions returns the degenerate split (all 1.0): every
+// component draws its active watts regardless of utilization, which is
+// exactly the static model's assumption.
+func StaticIdleFractions() IdleFractions {
+	return IdleFractions{CPU: 1, Memory: 1, Disk: 1, Board: 1, Fan: 1, Flash: 1, Switch: 1}
+}
+
+// Validate reports fractions outside [0,1].
+func (f IdleFractions) Validate() error {
+	for _, v := range [...]struct {
+		name string
+		frac float64
+	}{
+		{"cpu", f.CPU}, {"memory", f.Memory}, {"disk", f.Disk}, {"board", f.Board},
+		{"fan", f.Fan}, {"flash", f.Flash}, {"switch", f.Switch},
+	} {
+		if v.frac < 0 || v.frac > 1 {
+			return fmt.Errorf("power: %s idle fraction %g outside [0,1]", v.name, v.frac)
+		}
+	}
+	return nil
+}
+
+// Utilizations carries per-class utilization in [0,1] for the
+// utilization-conditioned power model. Classes with no measured driver
+// default to 0 (idle draw only).
+type Utilizations struct {
+	CPU    float64
+	Memory float64
+	Disk   float64
+	Board  float64
+	Fan    float64
+	Flash  float64
+	Switch float64
+}
+
+// At returns the utilization-conditioned breakdown: each class draws
+// active * (idle + (1-idle)*util). With an idle fraction of 1.0 the
+// utilization term vanishes and the class reproduces its static watts
+// bit-exactly (active * 1.0); with 0.0 the class is perfectly
+// energy-proportional.
+func (b Breakdown) At(f IdleFractions, u Utilizations) Breakdown {
+	scale := func(active, idle, util float64) float64 {
+		return active * (idle + (1-idle)*util)
+	}
+	return Breakdown{
+		CPUW:    scale(b.CPUW, f.CPU, u.CPU),
+		MemoryW: scale(b.MemoryW, f.Memory, u.Memory),
+		DiskW:   scale(b.DiskW, f.Disk, u.Disk),
+		BoardW:  scale(b.BoardW, f.Board, u.Board),
+		FanW:    scale(b.FanW, f.Fan, u.Fan),
+		FlashW:  scale(b.FlashW, f.Flash, u.Flash),
+		SwitchW: scale(b.SwitchW, f.Switch, u.Switch),
+	}
+}
+
 // Model computes consumed power for servers and racks.
 type Model struct {
 	// ActivityFactor scales maximum operational power to expected power
