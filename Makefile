@@ -10,6 +10,12 @@
 #                     (non-zero exit when ns/op regresses past the
 #                     tolerance or B/op / allocs/op grow at all)
 #   make shard-diff — the shard-equivalence gate on its own
+#   make shard-race — the shard engine's tests under the race detector
+#                     at GOMAXPROCS 1 and 4 (serial schedules hide
+#                     different bugs than parallel ones)
+#   make speedup-smoke — kernel workload at 4 shards vs 1 must reach a
+#                     1.3x wall-clock speedup (skips on machines with
+#                     fewer than 4 CPUs)
 #   make slo-diff   — the windowed-SLO equivalence gate: -slo-out must be
 #                     byte-identical (whole file) across shard and par counts
 #   make energy-diff — the energy-telemetry equivalence gate: -energy-out
@@ -21,13 +27,17 @@
 #                     internal/obs/...
 
 GO ?= go
-N ?= 4
-BENCH_OLD ?= BENCH_3.json
-BENCH_NEW ?= BENCH_4.json
+N ?= 5
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_5.json
+# EFF_FLOOR gates the new record's kernel parallel efficiency at 4
+# shards in bench-diff (skipped automatically when the recording
+# machine had fewer than 4 CPUs or GOMAXPROCS).
+EFF_FLOOR ?= 0.4
 
-.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff slo-diff energy-diff introspect-smoke cover
+.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke cover
 
-check: vet build test-race fmt shard-diff slo-diff energy-diff introspect-smoke
+check: vet build test-race fmt shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +50,18 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# The shard engine is the only package whose correctness depends on
+# goroutine scheduling; -cpu 1,4 runs its race tests under both a
+# serial and a genuinely parallel scheduler.
+shard-race:
+	$(GO) test -race -cpu 1,4 ./internal/des/shard/...
+
+# Wall-clock speedup gate: the compute-dense kernel workload at 4
+# shards must beat 1 shard by 1.3x on a machine with >= 4 CPUs (the
+# gate skips itself, loudly, anywhere it cannot physically pass).
+speedup-smoke:
+	$(GO) run ./cmd/whbench -speedup-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -170,4 +192,4 @@ bench-json:
 	$(GO) run ./cmd/whbench -bench-json BENCH_$(N).json
 
 bench-diff:
-	$(GO) run ./cmd/whbench -bench-diff $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/whbench -bench-diff -eff-floor $(EFF_FLOOR) $(BENCH_OLD) $(BENCH_NEW)

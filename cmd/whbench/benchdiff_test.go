@@ -78,23 +78,33 @@ func TestDiffBenchDocsCrossMachine(t *testing.T) {
 }
 
 func TestSameMachine(t *testing.T) {
-	fp := func(model string, cpus int) benchDoc {
+	fp := func(model string, cpus, maxprocs int) benchDoc {
 		d := doc()
-		d.CPUModel, d.CPUs = model, cpus
+		d.CPUModel, d.CPUs, d.GOMAXPROCS = model, cpus, maxprocs
 		return d
 	}
-	if !sameMachine(fp("cpu-x", 4), fp("cpu-x", 4)) {
+	if !sameMachine(fp("cpu-x", 4, 4), fp("cpu-x", 4, 4)) {
 		t.Fatal("matching fingerprints not recognized")
 	}
-	if sameMachine(fp("cpu-x", 4), fp("cpu-y", 4)) {
+	if sameMachine(fp("cpu-x", 4, 4), fp("cpu-y", 4, 4)) {
 		t.Fatal("different models matched")
 	}
-	if sameMachine(fp("cpu-x", 4), fp("cpu-x", 8)) {
+	if sameMachine(fp("cpu-x", 4, 4), fp("cpu-x", 8, 4)) {
 		t.Fatal("different cpu counts matched")
 	}
+	// Same hardware, different GOMAXPROCS: a GOMAXPROCS=1 record is
+	// serial regardless of the CPU count, so the runs are not comparable.
+	if sameMachine(fp("cpu-x", 4, 1), fp("cpu-x", 4, 4)) {
+		t.Fatal("different GOMAXPROCS matched")
+	}
+	// Records that predate the gomaxprocs field (0) never match, even
+	// against each other: comparability must be proven, not assumed.
+	if sameMachine(fp("cpu-x", 4, 0), fp("cpu-x", 4, 0)) {
+		t.Fatal("gomaxprocs-less records matched")
+	}
 	// Records without a fingerprint (pre-cpu_model schema, non-Linux)
-	// never match: comparability must be proven, not assumed.
-	if sameMachine(fp("", 4), fp("", 4)) {
+	// never match either.
+	if sameMachine(fp("", 4, 4), fp("", 4, 4)) {
 		t.Fatal("fingerprintless records matched")
 	}
 }
@@ -148,5 +158,95 @@ func TestParallelEfficiencyDerivation(t *testing.T) {
 	}
 	if parallelEfficiency(benchDoc{Benchmarks: []benchRecord{{Name: "ShardedTrial", NsPerOp: 1}}}) != nil {
 		t.Error("summary produced without the sharded row")
+	}
+}
+
+// TestEfficiencyCurve: the curve derives one point per (workload,
+// shard-count) pair whose rows are both present, and skips the rest —
+// so records from older suites (no KernelTrial rows) produce a partial
+// curve rather than an error.
+func TestEfficiencyCurve(t *testing.T) {
+	d := benchDoc{Benchmarks: []benchRecord{
+		{Name: "ShardedTrial", NsPerOp: 8e9},
+		{Name: "ShardedTrial2", NsPerOp: 5e9},
+		{Name: "KernelTrial", NsPerOp: 4e9},
+		{Name: "KernelTrial4", NsPerOp: 1e9},
+	}}
+	curve := efficiencyCurve(d)
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2 (rack@2, kernel@4): %+v", len(curve), curve)
+	}
+	rack, kernel := curve[0], curve[1]
+	if rack.Workload != "rack" || rack.Shards != 2 || rack.Speedup != 1.6 || rack.Efficiency != 0.8 {
+		t.Errorf("rack point = %+v", rack)
+	}
+	if kernel.Workload != "kernel" || kernel.Shards != 4 || kernel.Speedup != 4 || kernel.Efficiency != 1 {
+		t.Errorf("kernel point = %+v", kernel)
+	}
+	d.ParallelCurve = curve
+	if p := kernelEfficiencyAt(d, 4); p == nil || p.Efficiency != 1 {
+		t.Errorf("kernelEfficiencyAt(4) = %+v", p)
+	}
+	if kernelEfficiencyAt(d, 8) != nil {
+		t.Error("kernelEfficiencyAt(8) found a point that was never derived")
+	}
+	if efficiencyCurve(benchDoc{}) != nil {
+		t.Error("empty record produced a curve")
+	}
+}
+
+// effDoc builds a record with a kernel efficiency point at smokeShards.
+func effDoc(model string, cpus, maxprocs int, eff float64) benchDoc {
+	d := doc()
+	d.CPUModel, d.CPUs, d.GOMAXPROCS = model, cpus, maxprocs
+	d.ParallelCurve = []efficiencyPoint{{
+		Workload: "kernel", Shards: smokeShards,
+		Speedup: eff * smokeShards, Efficiency: eff,
+	}}
+	return d
+}
+
+func TestDiffEfficiencyFloor(t *testing.T) {
+	same := func(eff float64) (benchDoc, benchDoc) {
+		return effDoc("cpu-x", 8, 8, 0.50), effDoc("cpu-x", 8, 8, eff)
+	}
+	// Floor met: no error.
+	oldD, newD := same(0.45)
+	if err := diffEfficiency(oldD, newD, 0.40); err != nil {
+		t.Errorf("efficiency 0.45 over 0.40 floor: %v", err)
+	}
+	// Floor violated: error.
+	oldD, newD = same(0.30)
+	if err := diffEfficiency(oldD, newD, 0.40); err == nil {
+		t.Error("efficiency 0.30 under 0.40 floor not rejected")
+	}
+	// No floor requested: never an error.
+	if err := diffEfficiency(oldD, newD, 0); err != nil {
+		t.Errorf("floorless diff errored: %v", err)
+	}
+	// The machine cannot run smokeShards in parallel: floor skipped,
+	// even though the efficiency figure is under it.
+	weak := effDoc("cpu-1", 1, 1, 0.24)
+	if err := diffEfficiency(weak, weak, 0.40); err != nil {
+		t.Errorf("floor not skipped on a %d-CPU record: %v", weak.CPUs, err)
+	}
+	// New record has no kernel point at all: the floor cannot be
+	// evaluated, which is an error (the gate was explicitly requested).
+	if err := diffEfficiency(oldD, doc(), 0.40); err == nil {
+		t.Error("missing kernel point accepted with a floor set")
+	}
+}
+
+func TestDiffEfficiencyCrossFingerprint(t *testing.T) {
+	oldD := effDoc("cpu-x", 8, 8, 0.50)
+	newD := effDoc("cpu-y", 8, 8, 0.50)
+	// Cross-fingerprint with a floor: refused with an error, even though
+	// the new record on its own would pass the floor.
+	if err := diffEfficiency(oldD, newD, 0.40); err == nil {
+		t.Error("cross-fingerprint efficiency comparison with a floor not refused")
+	}
+	// Without a floor the refusal is informational only.
+	if err := diffEfficiency(oldD, newD, 0); err != nil {
+		t.Errorf("floorless cross-fingerprint diff errored: %v", err)
 	}
 }

@@ -42,11 +42,17 @@ type benchDoc struct {
 	GOARCH    string `json:"goarch"`
 	GitRev    string `json:"git_rev"`
 	// CPUs is runtime.NumCPU() on the recording machine. Parallel-kernel
-	// numbers (ShardedTrial*) only show wall-clock speedup when CPUs
-	// exceeds the shard count — a record taken on a one-CPU container
-	// honestly documents that its sharded rows measure synchronization
-	// overhead, not speedup.
+	// numbers (ShardedTrial*, KernelTrial*) only show wall-clock speedup
+	// when CPUs exceeds the shard count — a record taken on a one-CPU
+	// container honestly documents that its sharded rows measure
+	// synchronization overhead, not speedup.
 	CPUs int `json:"cpus"`
+	// GOMAXPROCS is the scheduler's parallelism cap at recording time —
+	// part of the machine fingerprint because a GOMAXPROCS=1 record on
+	// a 16-CPU machine is serial no matter what CPUs says. Absent (0)
+	// in records predating the field; such records never fingerprint-
+	// match, so their ns/op and efficiency figures are not gated.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// CPUModel fingerprints the recording machine (the kernel's CPU
 	// model string; empty when unavailable). bench-diff gates ns/op only
 	// when old and new records carry the same fingerprint: identical
@@ -58,9 +64,28 @@ type benchDoc struct {
 	Benchmarks []benchRecord `json:"benchmarks"`
 	// Parallel summarizes the sharded kernel's parallel efficiency,
 	// derived from the ShardedTrial rows already in Benchmarks. Derived
-	// and machine-dependent, so bench-diff ignores it (old records
-	// without the field load fine — plain json.Unmarshal leaves it nil).
+	// and machine-dependent, so bench-diff never treats it as a plain
+	// regression figure (old records without the field load fine —
+	// plain json.Unmarshal leaves it nil); -eff-floor gates the curve
+	// explicitly, and only fingerprint-matched.
 	Parallel *parallelSummary `json:"parallel_efficiency,omitempty"`
+	// ParallelCurve is the per-shard-count efficiency curve for both
+	// workloads: "rack" (the SAN-coupled ShardedTrial model, whose
+	// efficiency is physics-bounded) and "kernel" (the compute-dense
+	// KernelTrial load, whose efficiency measures the engine itself).
+	ParallelCurve []efficiencyPoint `json:"parallel_efficiency_curve,omitempty"`
+}
+
+// efficiencyPoint is one (workload, shard count) scaling measurement:
+// Speedup is the workload's shards=1 ns/op over this row's ns/op,
+// Efficiency divides by the shard count.
+type efficiencyPoint struct {
+	Workload        string  `json:"workload"`
+	Shards          int     `json:"shards"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	ShardedNsPerOp  float64 `json:"sharded_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	Efficiency      float64 `json:"efficiency"`
 }
 
 // parallelSummary is the whbench parallel-efficiency record: how much
@@ -267,6 +292,40 @@ func parallelEfficiency(doc benchDoc) *parallelSummary {
 	}
 }
 
+// efficiencyCurve derives the per-shard-count scaling points from the
+// rack and kernel benchmark rows present in the record.
+func efficiencyCurve(doc benchDoc) []efficiencyPoint {
+	ns := map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		ns[r.Name] = r.NsPerOp
+	}
+	var out []efficiencyPoint
+	for _, w := range []struct{ workload, baseRow, prefix string }{
+		{"rack", "ShardedTrial", "ShardedTrial"},
+		{"kernel", "KernelTrial", "KernelTrial"},
+	} {
+		base := ns[w.baseRow]
+		if base <= 0 {
+			continue
+		}
+		for _, shards := range []int{2, 4, 8} {
+			sharded := ns[fmt.Sprintf("%s%d", w.prefix, shards)]
+			if sharded <= 0 {
+				continue
+			}
+			out = append(out, efficiencyPoint{
+				Workload:        w.workload,
+				Shards:          shards,
+				BaselineNsPerOp: base,
+				ShardedNsPerOp:  sharded,
+				Speedup:         base / sharded,
+				Efficiency:      base / sharded / float64(shards),
+			})
+		}
+	}
+	return out
+}
+
 // writeBenchJSON runs the substrate micro-benchmark suite via
 // testing.Benchmark and writes a warehousesim-bench/v1 record to path.
 // The suite is the whsim hot path at three instrumentation levels plus
@@ -282,7 +341,13 @@ func writeBenchJSON(path string, seed uint64) error {
 		{"DESTrialObs", desTrial("obs", seed)},
 		{"DESTrialTraced", desTrial("traced", seed)},
 		{"ShardedTrial", shardedTrial(1, seed)},
+		{"ShardedTrial2", shardedTrial(2, seed)},
 		{"ShardedTrial4", shardedTrial(4, seed)},
+		{"ShardedTrial8", shardedTrial(8, seed)},
+		{"KernelTrial", kernelTrial(1, seed)},
+		{"KernelTrial2", kernelTrial(2, seed)},
+		{"KernelTrial4", kernelTrial(4, seed)},
+		{"KernelTrial8", kernelTrial(8, seed)},
 		{"MembladeAccess", membladeAccess(seed)},
 		{"MembladeAccessTraced", membladeAccessTraced(seed)},
 		{"FlashCacheOp", flashCacheOp(seed)},
@@ -290,14 +355,15 @@ func writeBenchJSON(path string, seed uint64) error {
 	}
 
 	doc := benchDoc{
-		Schema:    "warehousesim-bench/v1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GitRev:    gitRev(),
-		CPUs:      runtime.NumCPU(),
-		CPUModel:  cpuModel(),
-		Seed:      seed,
+		Schema:     "warehousesim-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GitRev:     gitRev(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		Seed:       seed,
 	}
 	start := time.Now()
 	for _, s := range suite {
@@ -323,9 +389,14 @@ func writeBenchJSON(path string, seed uint64) error {
 	}
 	doc.WallSec = time.Since(start).Seconds()
 	doc.Parallel = parallelEfficiency(doc)
+	doc.ParallelCurve = efficiencyCurve(doc)
 	if p := doc.Parallel; p != nil {
 		fmt.Fprintf(os.Stderr, "whbench: parallel efficiency %.2f (speedup %.2fx over %d shards, %d CPUs)\n",
 			p.Efficiency, p.Speedup, p.Shards, p.CPUs)
+	}
+	for _, pt := range doc.ParallelCurve {
+		fmt.Fprintf(os.Stderr, "whbench: %s workload at %d shards: speedup %.2fx, efficiency %.2f\n",
+			pt.Workload, pt.Shards, pt.Speedup, pt.Efficiency)
 	}
 
 	b, err := json.MarshalIndent(doc, "", "  ")

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"warehousesim/internal/des"
+	"warehousesim/internal/des/shard"
+)
+
+// The kernel-scaling workload: a synthetic, compute-dense load on the
+// sharded engine itself, with dense local event traffic and rare
+// cross-shard messages. The rack benchmarks (ShardedTrial*) measure
+// the model the paper cares about — but every interactive request
+// there round-trips the shared SAN, so their shard coupling is part of
+// the physics and their parallel efficiency is bounded by it. This
+// workload is the other calibration point: it measures what the
+// engine's synchronization costs when the model itself scales, which
+// is the number the speedup-smoke CI gate and the kernel rows of the
+// parallel-efficiency curve track.
+//
+// The trajectory is a pure function of the seed and is partition-
+// independent (local timing never depends on cross traffic, and the
+// cross pokes only bump a commutative checksum), so the checksum
+// doubles as a cheap cross-shard-count invariance probe.
+const (
+	kernelEntities   = 8    // divisible by every benchmarked shard count
+	kernelHorizon    = 0.1  // simulated seconds
+	kernelLookahead  = 2e-3 // wide windows: hundreds of local events per round
+	kernelCrossEvery = 256  // local events between cross-shard pokes
+	kernelSpin       = 256  // per-event arithmetic, the parallelizable work
+)
+
+type kernelEnt struct {
+	sh     *shard.Shard
+	id     shard.EntityID
+	peer   *kernelEnt
+	rng    uint64
+	events int64
+	sum    uint64
+
+	stepFn, pokeFn des.Action
+}
+
+// step is one dense local event: spin the per-entity LCG (the "work"),
+// occasionally poke the next entity cross-shard, and reschedule with a
+// deterministic jittered gap well below the lookahead.
+func (k *kernelEnt) step() {
+	x := k.rng
+	for i := 0; i < kernelSpin; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	k.rng = x
+	k.sum += x
+	k.events++
+	if k.events%kernelCrossEvery == 0 {
+		k.sh.Post(k.id, k.peer.id, 2*kernelLookahead, k.peer.pokeFn)
+	}
+	dt := des.Time(5e-6) + des.Time(x>>40)*1e-12 // 5–22 µs, mean ~13 µs
+	k.sh.Sim.Schedule(dt, k.stepFn)
+}
+
+// poke runs on the receiving entity's shard and touches only its own
+// commutative state, so delivery order across shard counts cannot show.
+func (k *kernelEnt) poke() { k.sum++ }
+
+// kernelRun executes one kernel trial and returns the checksum over
+// all entities (identical at every shard count) and the events fired.
+func kernelRun(shards int, seed uint64) (sum uint64, fired uint64, err error) {
+	eng, err := shard.NewEngine(shard.Config{
+		Shards:    shards,
+		Entities:  kernelEntities,
+		Lookahead: kernelLookahead,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ents := make([]*kernelEnt, kernelEntities)
+	for i := range ents {
+		sid := i * shards / kernelEntities
+		eng.Assign(shard.EntityID(i), sid)
+		ents[i] = &kernelEnt{
+			sh:  eng.Shard(sid),
+			id:  shard.EntityID(i),
+			rng: seed + 0x9e3779b97f4a7c15*uint64(i+1),
+		}
+		ents[i].stepFn = ents[i].step
+		ents[i].pokeFn = ents[i].poke
+	}
+	for i, k := range ents {
+		k.peer = ents[(i+1)%kernelEntities]
+		k.sh.Sim.Schedule(des.Time(i+1)*1e-6, k.stepFn)
+	}
+	eng.Run(kernelHorizon)
+	for _, k := range ents {
+		sum += k.sum
+	}
+	return sum, eng.Fired(), nil
+}
+
+// kernelTrial benchmarks one kernel trial at the given shard count.
+func kernelTrial(shards int, seed uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := kernelRun(shards, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// smokeShards and smokeFloor are the speedup-smoke contract: on a
+// machine with at least smokeShards CPUs (and GOMAXPROCS), the kernel
+// workload at smokeShards shards must beat one shard by smokeFloor in
+// wall-clock. 1.3x is deliberately far below the ~3x the workload
+// reaches on an unloaded 4-core machine: the gate must not flake on a
+// busy CI runner, it only has to prove the engine parallelizes at all.
+const (
+	smokeShards = 4
+	smokeFloor  = 1.3
+)
+
+// runSpeedupSmoke measures the kernel workload at 1 vs smokeShards
+// shards and enforces the smokeFloor wall-clock speedup — skipping
+// (exit 0, with a message) on machines that cannot physically show
+// one. Each side is best-of-three to shrug off transient load.
+func runSpeedupSmoke(seed uint64) error {
+	if runtime.NumCPU() < smokeShards || runtime.GOMAXPROCS(0) < smokeShards {
+		fmt.Fprintf(os.Stderr, "whbench: speedup-smoke skipped: need >= %d CPUs and GOMAXPROCS, have %d/%d (a %d-shard run cannot beat 1 shard without the cores)\n",
+			smokeShards, runtime.NumCPU(), runtime.GOMAXPROCS(0), smokeShards)
+		return nil
+	}
+	measure := func(shards int) (time.Duration, uint64, error) {
+		best := time.Duration(0)
+		var sum uint64
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			s, _, err := kernelRun(shards, seed)
+			d := time.Since(start)
+			if err != nil {
+				return 0, 0, err
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			sum = s
+		}
+		return best, sum, nil
+	}
+	base, baseSum, err := measure(1)
+	if err != nil {
+		return err
+	}
+	par, parSum, err := measure(smokeShards)
+	if err != nil {
+		return err
+	}
+	if baseSum != parSum {
+		return fmt.Errorf("speedup-smoke: checksum diverged across shard counts: %d at 1 shard vs %d at %d shards", baseSum, parSum, smokeShards)
+	}
+	speedup := float64(base) / float64(par)
+	fmt.Fprintf(os.Stderr, "whbench: speedup-smoke: %v at 1 shard, %v at %d shards -> %.2fx (floor %.1fx, %d CPUs)\n",
+		base, par, smokeShards, speedup, smokeFloor, runtime.NumCPU())
+	if speedup < smokeFloor {
+		return fmt.Errorf("speedup-smoke: %.2fx below the %.1fx floor: the sharded kernel is not delivering wall-clock speedup on %d CPUs", speedup, smokeFloor, runtime.NumCPU())
+	}
+	return nil
+}

@@ -59,6 +59,39 @@ func liveShardStats(live cluster.LiveHandles) []shard.LiveStats {
 	return live.ShardStats()
 }
 
+// placementInfo renders the run's placement for the manifest: the
+// strategy name and the enclosure-to-shard assignment (enclosure e
+// went to shard assignment[e]). It normalizes the options the same way
+// Simulate does, so the recorded packing is exactly the one the run
+// used, and the assignment is a pure function of the topology
+// (PlacementOf) — the manifest alone reproduces it.
+func placementInfo(opt cluster.SimOptions) (strategy, assignment string) {
+	n, err := opt.Normalize()
+	if err != nil || n.Topology == nil {
+		return "", ""
+	}
+	t := n.Topology
+	asn := t.PlacementOf()
+	parts := make([]string, len(asn))
+	for e, s := range asn {
+		parts[e] = strconv.Itoa(s)
+	}
+	return t.Placement, strings.Join(parts, ",")
+}
+
+// boardList renders a heterogeneous rack's per-enclosure board counts
+// as the comma list -boards accepts, "" for a uniform rack.
+func boardList(boards []int) string {
+	if len(boards) == 0 {
+		return ""
+	}
+	parts := make([]string, len(boards))
+	for i, b := range boards {
+		parts[i] = strconv.Itoa(b)
+	}
+	return strings.Join(parts, ",")
+}
+
 func designByName(name string) (core.Design, error) {
 	switch name {
 	case "N1":
@@ -346,6 +379,9 @@ func main() {
 		if diagSink != nil {
 			dman := obs.NewManifest(p.Name, d.Name, *seed)
 			dman.Config["shards"] = strconv.Itoa(opts.Topology.Shards)
+			strategy, assignment := placementInfo(opts)
+			dman.Config["placement"] = strategy
+			dman.Config["placement_assignment"] = assignment
 			dman.WallSec = wall.Seconds()
 			diagSink.SetManifest(dman)
 			if err := diagSink.WriteFile(sharding.DiagOut()); err != nil {
@@ -367,7 +403,14 @@ func main() {
 			if t := opts.Topology; t != nil {
 				man.Config["shards"] = strconv.Itoa(t.Shards)
 				man.Config["enclosures"] = strconv.Itoa(t.Enclosures)
-				man.Config["boards_per_enclosure"] = strconv.Itoa(t.BoardsPerEnclosure)
+				if bl := boardList(t.Boards); bl != "" {
+					man.Config["boards"] = bl
+				} else {
+					man.Config["boards_per_enclosure"] = strconv.Itoa(t.BoardsPerEnclosure)
+				}
+				strategy, assignment := placementInfo(opts)
+				man.Config["placement"] = strategy
+				man.Config["placement_assignment"] = assignment
 			}
 			if p.Batch {
 				man.SimTimeSec = res.ExecTime

@@ -10,11 +10,14 @@ package cluster
 // discipline. Everything that crosses enclosure boundaries — SAN disk
 // I/O, mapreduce shuffle chunks, job-completion reports — is genuinely
 // cross-shard and flows through the bounded channel mailboxes with a
-// delay of exactly the engine lookahead L, which is the minimum
-// cross-enclosure latency (NIC serialization of one fabric unit plus a
-// switch hop, fabric.CrossEnclosureLatencySec). The same L is both the
-// synchronization lookahead and the modeled transport delay, so the
-// physics and the protocol agree by construction.
+// delay of exactly its traffic class's transport latency: laIntra for
+// backplane hops (fabric.IntraEnclosureLatencySec), laSAN for the
+// storage path (fabric.SANPathLatencySec), laCross for board-to-board
+// fabric traffic (fabric.CrossEnclosureLatencySec). The same three
+// values, arranged per shard pair by lookaheadMatrix, are the engine's
+// lookahead floors — the physics and the protocol agree by
+// construction, and pairs with no modeled traffic are +Inf so they
+// never throttle a synchronization window.
 //
 // Partition-independence discipline (the shards-1-vs-N byte gate):
 //
@@ -68,8 +71,13 @@ type ShardedTopology struct {
 	// the partitioning unit.
 	Enclosures int
 	// BoardsPerEnclosure is the number of server boards per enclosure
-	// (>= 1).
+	// (>= 1), ignored when Boards is set.
 	BoardsPerEnclosure int
+	// Boards, when non-empty, gives a heterogeneous rack: Boards[e]
+	// server boards in enclosure e (each >= 1). Its length must equal
+	// Enclosures. Skewed racks are where placement matters — see
+	// Placement.
+	Boards []int
 	// ClientsPerBoard is the closed-loop client population per board
 	// for interactive workloads; 0 means 4. The rack model measures
 	// this fixed provisioning directly — there is no adaptive search.
@@ -81,7 +89,22 @@ type ShardedTopology struct {
 	// values outside [1, Enclosures] are clamped. Results are
 	// byte-identical at every value.
 	Shards int
+	// Placement selects how enclosures are packed onto shards:
+	// PlacementBlock ("" or "block") is the contiguous split,
+	// PlacementBalanced ("balanced") the deterministic LPT bin-packer
+	// weighted by each enclosure's event-generation load (boards ×
+	// clients plus its blade, with the SAN and aggregator pre-loaded
+	// onto shard 0). Results are byte-identical under either; only
+	// wall-clock balance differs.
+	Placement string
 }
+
+// Placement strategy names accepted by ShardedTopology.Placement and
+// the -placement CLI flag.
+const (
+	PlacementBlock    = "block"
+	PlacementBalanced = "balanced"
+)
 
 // normalize fills defaults and validates; SimOptions.Normalize calls it
 // on a copy.
@@ -89,7 +112,16 @@ func (t ShardedTopology) normalize() (ShardedTopology, error) {
 	if t.Enclosures < 1 {
 		return t, fmt.Errorf("cluster: topology needs at least one enclosure, got %d", t.Enclosures)
 	}
-	if t.BoardsPerEnclosure < 1 {
+	if len(t.Boards) > 0 {
+		if len(t.Boards) != t.Enclosures {
+			return t, fmt.Errorf("cluster: topology has %d per-enclosure board counts for %d enclosures", len(t.Boards), t.Enclosures)
+		}
+		for e, n := range t.Boards {
+			if n < 1 {
+				return t, fmt.Errorf("cluster: enclosure %d needs at least one board, got %d", e, n)
+			}
+		}
+	} else if t.BoardsPerEnclosure < 1 {
 		return t, fmt.Errorf("cluster: topology needs at least one board per enclosure, got %d", t.BoardsPerEnclosure)
 	}
 	if t.ClientsPerBoard < 0 {
@@ -97,6 +129,13 @@ func (t ShardedTopology) normalize() (ShardedTopology, error) {
 	}
 	if t.SANDisks < 0 {
 		return t, fmt.Errorf("cluster: negative SAN capacity %d", t.SANDisks)
+	}
+	switch t.Placement {
+	case "":
+		t.Placement = PlacementBlock
+	case PlacementBlock, PlacementBalanced:
+	default:
+		return t, fmt.Errorf("cluster: unknown placement %q (want %q or %q)", t.Placement, PlacementBlock, PlacementBalanced)
 	}
 	if t.ClientsPerBoard == 0 {
 		t.ClientsPerBoard = 4
@@ -113,6 +152,47 @@ func (t ShardedTopology) normalize() (ShardedTopology, error) {
 	return t, nil
 }
 
+// boardsIn returns enclosure e's board count, honoring the
+// heterogeneous override.
+func (t ShardedTopology) boardsIn(e int) int {
+	if len(t.Boards) > 0 {
+		return t.Boards[e]
+	}
+	return t.BoardsPerEnclosure
+}
+
+// totalBoards is the rack's board count across all enclosures.
+func (t ShardedTopology) totalBoards() int {
+	if len(t.Boards) == 0 {
+		return t.Enclosures * t.BoardsPerEnclosure
+	}
+	n := 0
+	for _, b := range t.Boards {
+		n += b
+	}
+	return n
+}
+
+// PlacementOf returns the enclosure-to-shard assignment the rack model
+// uses for this topology: a pure function of the (normalized) topology
+// alone, so a run manifest that records the topology and the strategy
+// name fully determines the packing. Enclosure weight is its
+// event-generation load — boards × clients per board, plus one for the
+// blade — and shard 0 is pre-loaded with the SAN array (SANDisks) and
+// the batch aggregator, which are pinned there.
+func (t ShardedTopology) PlacementOf() []int {
+	if t.Placement != PlacementBalanced {
+		return shard.PlaceBlock(t.Enclosures, t.Shards)
+	}
+	weights := make([]float64, t.Enclosures)
+	for e := range weights {
+		weights[e] = float64(t.boardsIn(e)*t.ClientsPerBoard + 1)
+	}
+	bias := make([]float64, t.Shards)
+	bias[0] = float64(t.SANDisks + 1)
+	return shard.PlaceBalanced(weights, t.Shards, bias)
+}
+
 // rackSeed derives one entity-scoped RNG seed from the run seed. Pure
 // function of (root, ent, idx), so per-client streams are independent
 // of the partitioning and of setup iteration order.
@@ -126,14 +206,21 @@ func rackSeed(root uint64, ent, idx int) uint64 {
 }
 
 // rackSim owns one rack run: the engine, the per-enclosure model state,
-// and the rack-global entities (SAN, aggregator) on shard 0.
+// and the rack-global entities (SAN, aggregator) on shard 0. The three
+// latency classes are the rack's transport physics and, pair-wise, the
+// engine's lookahead floors — one derivation for both (see
+// lookaheadMatrix): laIntra for backplane hops that never leave an
+// enclosure (blade swaps), laSAN for the storage path, laCross for
+// board-to-board fabric traffic (shuffle chunks, aggregator reports).
 type rackSim struct {
 	cfg       Config
 	topo      ShardedTopology
 	p         workload.Profile
 	opt       SimOptions
 	eng       *shard.Engine
-	la        des.Time
+	laIntra   des.Time
+	laSAN     des.Time
+	laCross   des.Time
 	memFrac   float64
 	dm        demandModel
 	recording bool
@@ -241,7 +328,7 @@ func (f *rackFlow) afterCPU() {
 	r := f.b.r
 	f.tCPU = f.b.enc.sh.Now()
 	if r.memFrac > 0 {
-		f.b.enc.sh.Post(f.b.ent, f.b.enc.bladeEnt, r.la, f.bladeArriveFn)
+		f.b.enc.sh.Post(f.b.ent, f.b.enc.bladeEnt, r.laIntra, f.bladeArriveFn)
 		return
 	}
 	f.tBlade = f.tCPU
@@ -256,7 +343,7 @@ func (f *rackFlow) bladeArrive() {
 }
 
 func (f *rackFlow) bladeDone() {
-	f.b.enc.sh.Post(f.b.enc.bladeEnt, f.b.ent, f.b.r.la, f.bladeBackFn)
+	f.b.enc.sh.Post(f.b.enc.bladeEnt, f.b.ent, f.b.r.laIntra, f.bladeBackFn)
 }
 
 func (f *rackFlow) bladeBack() {
@@ -267,7 +354,7 @@ func (f *rackFlow) bladeBack() {
 func (f *rackFlow) goSAN() {
 	r := f.b.r
 	if f.d.DiskSec > 0 {
-		f.b.enc.sh.Post(f.b.ent, r.sanEnt, r.la, f.sanArriveFn)
+		f.b.enc.sh.Post(f.b.ent, r.sanEnt, r.laSAN, f.sanArriveFn)
 		return
 	}
 	f.tSAN = f.tBlade
@@ -281,7 +368,7 @@ func (f *rackFlow) sanArrive() {
 
 func (f *rackFlow) sanDone() {
 	r := f.b.r
-	r.sh0.Post(r.sanEnt, f.b.ent, r.la, f.sanBackFn)
+	r.sh0.Post(r.sanEnt, f.b.ent, r.laSAN, f.sanBackFn)
 }
 
 func (f *rackFlow) sanBack() {
@@ -419,7 +506,7 @@ func (s *rackSlot) finished() {
 	ch := &rackChunk{r: b.r, dst: peer, netSec: s.flow.d.NetSec}
 	ch.recvFn = ch.recv
 	ch.sentFn = ch.sent
-	e.sh.Post(b.ent, peer.ent, b.r.la, ch.recvFn)
+	e.sh.Post(b.ent, peer.ent, b.r.laCross, ch.recvFn)
 	s.launch()
 }
 
@@ -450,7 +537,7 @@ func (c *rackChunk) recv() {
 }
 
 func (c *rackChunk) sent() {
-	c.dst.enc.sh.Post(c.dst.ent, c.r.aggEnt, c.r.la, c.r.aggDoneFn)
+	c.dst.enc.sh.Post(c.dst.ent, c.r.aggEnt, c.r.laCross, c.r.aggDoneFn)
 }
 
 // aggChunkDone runs on shard 0 for every delivered chunk; the last one
@@ -462,19 +549,64 @@ func (r *rackSim) aggChunkDone() {
 	}
 }
 
+// lookaheadMatrix derives the per-shard-pair lookahead floors from the
+// rack's traffic classes. The floor of a pair is the cheapest transport
+// delay of any message the model can post between entities on those
+// shards — so the matrix is a statement about which traffic exists, not
+// about where enclosures landed, and the same matrix is valid under
+// every placement:
+//
+//   - Diagonal: laIntra. Blade swaps are the cheapest same-shard posts
+//     (enclosures are never split, so blade traffic is same-shard under
+//     every placement).
+//   - Batch runs shuffle chunks between arbitrary board pairs and ship
+//     aggregator reports to shard 0, so every off-diagonal pair floors
+//     at laCross (the SAN path also exists but is strictly slower).
+//   - Interactive runs have exactly one cross-enclosure flow: the SAN
+//     round trip, pinned to shard 0. Pairs touching shard 0 floor at
+//     laSAN — wider than the raw fabric bound, which is the point —
+//     and every other pair carries no traffic at all (+Inf), so two
+//     board-only shards never throttle each other directly; the engine
+//     closes the matrix, bounding their indirect coupling through the
+//     SAN at 2·laSAN.
+func lookaheadMatrix(shards int, batch bool, laIntra, laSAN, laCross des.Time) [][]des.Time {
+	inf := des.Time(math.Inf(1))
+	m := make([][]des.Time, shards)
+	for s := range m {
+		m[s] = make([]des.Time, shards)
+		for d := range m[s] {
+			switch {
+			case s == d:
+				m[s][d] = laIntra
+			case batch:
+				m[s][d] = laCross
+			case s == 0 || d == 0:
+				m[s][d] = laSAN
+			default:
+				m[s][d] = inf
+			}
+		}
+	}
+	return m
+}
+
 // buildRack wires the engine, the entity namespace, and the
 // per-enclosure model state. Entity ids are dense and global:
-// boards 0..E*B-1 (enclosure-major), blades E*B..E*B+E-1, then the SAN
-// and the aggregator. Enclosure e lands on shard e*Shards/Enclosures;
-// the SAN and aggregator live on shard 0.
+// boards 0..N-1 (enclosure-major, heterogeneous racks via prefix
+// sums), blades N..N+E-1, then the SAN and the aggregator. Enclosure e
+// lands on the shard the topology's placement assigns it; the SAN and
+// aggregator live on shard 0.
 func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOptions, recording bool) (*rackSim, error) {
 	t := *opt.Topology
-	nBoards := t.Enclosures * t.BoardsPerEnclosure
-	la := des.Time(fabric.CrossEnclosureLatencySec(c.Server.NIC.BytesPerSec()))
+	nBoards := t.totalBoards()
+	nic := c.Server.NIC.BytesPerSec()
+	laIntra := des.Time(fabric.IntraEnclosureLatencySec(nic))
+	laSAN := des.Time(fabric.SANPathLatencySec(nic))
+	laCross := des.Time(fabric.CrossEnclosureLatencySec(nic))
 	eng, err := shard.NewEngine(shard.Config{
-		Shards:    t.Shards,
-		Entities:  nBoards + t.Enclosures + 2,
-		Lookahead: la,
+		Shards:          t.Shards,
+		Entities:        nBoards + t.Enclosures + 2,
+		LookaheadMatrix: lookaheadMatrix(t.Shards, p.Batch, laIntra, laSAN, laCross),
 	})
 	if err != nil {
 		return nil, err
@@ -485,7 +617,9 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 		p:         p,
 		opt:       opt,
 		eng:       eng,
-		la:        la,
+		laIntra:   laIntra,
+		laSAN:     laSAN,
+		laCross:   laCross,
 		memFrac:   c.memSwapFraction(),
 		dm:        c.demandModelFor(p),
 		recording: recording,
@@ -493,8 +627,10 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 		aggEnt:    shard.EntityID(nBoards + t.Enclosures + 1),
 	}
 	r.aggDoneFn = r.aggChunkDone
+	placement := t.PlacementOf()
+	boardBase := 0
 	for e := 0; e < t.Enclosures; e++ {
-		sid := e * t.Shards / t.Enclosures
+		sid := placement[e]
 		enc := &rackEnclosure{
 			r:        r,
 			idx:      e,
@@ -546,8 +682,8 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 		if r.memFrac > 0 {
 			enc.blade = des.NewResource(enc.sh.Sim, fmt.Sprintf("memblade.e%d", e), 1)
 		}
-		for b := 0; b < t.BoardsPerEnclosure; b++ {
-			g := e*t.BoardsPerEnclosure + b
+		for b := 0; b < t.boardsIn(e); b++ {
+			g := boardBase + b
 			bd := &rackBoard{r: r, enc: enc, global: g, ent: shard.EntityID(g)}
 			eng.Assign(bd.ent, sid)
 			bd.cpu = des.NewResource(enc.sh.Sim, fmt.Sprintf("cpu.e%d.b%d", e, b), c.Server.CPU.Cores())
@@ -555,6 +691,7 @@ func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOpti
 			enc.boards = append(enc.boards, bd)
 			r.boards = append(r.boards, bd)
 		}
+		boardBase += t.boardsIn(e)
 		r.encs = append(r.encs, enc)
 	}
 	r.sh0 = eng.Shard(0)
@@ -652,7 +789,7 @@ func (r *rackSim) fireOnLive() {
 		Energy:       r.energyParts(),
 		ShardStats:   r.eng.LiveStats,
 		Shards:       r.eng.Shards(),
-		LookaheadSec: float64(r.la),
+		LookaheadSec: float64(r.eng.Lookahead()),
 	})
 }
 

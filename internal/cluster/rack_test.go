@@ -7,6 +7,7 @@ import (
 
 	"warehousesim/internal/obs"
 	"warehousesim/internal/platform"
+	"warehousesim/internal/power"
 	"warehousesim/internal/stats"
 	"warehousesim/internal/workload"
 )
@@ -177,12 +178,96 @@ func TestNormalizeDefaults(t *testing.T) {
 	}
 }
 
+// TestPlacementOf: the enclosure packing is a pure function of the
+// normalized topology — block is the contiguous split, balanced is the
+// LPT packer over board*client weights with the SAN pinned to shard 0
+// repelling work — and a skewed rack is where the two must differ.
+func TestPlacementOf(t *testing.T) {
+	topo := ShardedTopology{
+		Enclosures: 4, Boards: []int{5, 1, 1, 1}, ClientsPerBoard: 2,
+		SANDisks: 4, Shards: 2,
+	}
+	if got := topo.PlacementOf(); !reflect.DeepEqual(got, []int{0, 0, 1, 1}) {
+		t.Errorf("block placement = %v", got)
+	}
+	topo.Placement = PlacementBalanced
+	// Weights 11,3,3,3 against a SAN bias of 5 on shard 0: the giant
+	// goes to the empty shard 1, the small enclosures fill shard 0.
+	if got := topo.PlacementOf(); !reflect.DeepEqual(got, []int{1, 0, 0, 0}) {
+		t.Errorf("balanced placement = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		if again := topo.PlacementOf(); !reflect.DeepEqual(again, []int{1, 0, 0, 0}) {
+			t.Fatalf("placement not deterministic: %v", again)
+		}
+	}
+}
+
+// TestRackPlacementInvariance is the tentpole acceptance gate in full:
+// a skewed heterogeneous rack (one 5-board enclosure plus three
+// 1-board ones) must produce DeepEqual Results and byte-identical
+// obs, SLO, and energy exports at shards 1/2/4 under both placements.
+func TestRackPlacementInvariance(t *testing.T) {
+	p := testProfile()
+	run := func(shards int, placement string) (Result, []byte, []byte, []byte) {
+		cfg := Config{Server: platform.Desk(), MemSlowdown: 0.05}
+		sink := obs.NewSink()
+		opt := rackOptions(shards, sink)
+		opt.Topology = &ShardedTopology{
+			Enclosures: 4, Boards: []int{5, 1, 1, 1}, ClientsPerBoard: 2,
+			Shards: shards, Placement: placement,
+		}
+		opt.SLOWindowSec = 1
+		opt.Energy = testEnergyConfig(1, power.DefaultIdleFractions())
+		res, err := cfg.Simulate(workload.FixedGenerator{P: p}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		slo, en := sloExport(t, res), energyExport(t, res)
+		// The collector handles are fresh pointers per run; the exports
+		// above already compare their contents byte for byte.
+		res.SLO, res.SLOParts, res.Energy, res.EnergyParts = nil, nil, nil, nil
+		return res, buf.Bytes(), slo, en
+	}
+	ref, refObs, refSLO, refEnergy := run(1, PlacementBlock)
+	if ref.Throughput <= 0 || ref.Clients != (5+1+1+1)*2 {
+		t.Fatalf("degenerate reference result: %+v", ref)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, placement := range []string{PlacementBlock, PlacementBalanced} {
+			if shards == 1 && placement == PlacementBlock {
+				continue // the reference itself
+			}
+			res, obsB, slo, en := run(shards, placement)
+			if !reflect.DeepEqual(ref, res) {
+				t.Errorf("shards=%d %s: result differs:\n  ref: %+v\n  got: %+v", shards, placement, ref, res)
+			}
+			if !bytes.Equal(refObs, obsB) {
+				t.Errorf("shards=%d %s: obs export differs (%d vs %d bytes)", shards, placement, len(refObs), len(obsB))
+			}
+			if !bytes.Equal(refSLO, slo) {
+				t.Errorf("shards=%d %s: SLO export differs (%d vs %d bytes)", shards, placement, len(refSLO), len(slo))
+			}
+			if !bytes.Equal(refEnergy, en) {
+				t.Errorf("shards=%d %s: energy export differs (%d vs %d bytes)", shards, placement, len(refEnergy), len(en))
+			}
+		}
+	}
+}
+
 func TestNormalizeRejectsBadTopology(t *testing.T) {
 	for _, topo := range []ShardedTopology{
 		{Enclosures: 0, BoardsPerEnclosure: 1},
 		{Enclosures: 1, BoardsPerEnclosure: 0},
 		{Enclosures: 1, BoardsPerEnclosure: 1, ClientsPerBoard: -1},
 		{Enclosures: 1, BoardsPerEnclosure: 1, SANDisks: -2},
+		{Enclosures: 2, Boards: []int{1}},
+		{Enclosures: 2, Boards: []int{1, 0}},
+		{Enclosures: 1, BoardsPerEnclosure: 1, Placement: "spiral"},
 	} {
 		topo := topo
 		o := SimOptions{Seed: 1, WarmupSec: 1, MeasureSec: 10, MaxClients: 8, Topology: &topo}

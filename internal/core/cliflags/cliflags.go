@@ -11,6 +11,8 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"warehousesim/internal/cluster"
@@ -118,12 +120,15 @@ func (h *HTTP) Serve() (srv *introspect.Server, bound string, err error) {
 
 // Sharding is the rack-topology flag group: -shards selects the sharded
 // multi-enclosure model (0 keeps the flat single-server model), with
-// -enclosures/-boards/-clients-per-board sizing the rack and
-// -shard-diag exporting the engine's synchronization diagnostics.
+// -enclosures/-boards/-clients-per-board sizing the rack, -placement
+// choosing the enclosure-to-shard packing, and -shard-diag exporting
+// the engine's synchronization diagnostics.
 type Sharding struct {
-	fs                                  *flag.FlagSet
-	shards, enclosures, boards, clients *int
-	diagOut                             *string
+	fs                          *flag.FlagSet
+	shards, enclosures, clients *int
+	boards                      *string
+	placement                   *string
+	diagOut                     *string
 }
 
 // AddSharding registers the rack flags.
@@ -133,9 +138,12 @@ func AddSharding(fs *flag.FlagSet) *Sharding {
 		shards: fs.Int("shards", 0,
 			"run the sharded multi-enclosure rack model with this many event heaps (0 = flat single-server model; results are identical at every value >= 1)"),
 		enclosures: fs.Int("enclosures", 4, "rack enclosures (with -shards)"),
-		boards:     fs.Int("boards", 4, "server boards per enclosure (with -shards)"),
+		boards: fs.String("boards", "4",
+			"server boards per enclosure (with -shards): one count for a uniform rack, or a comma list like 8,2,2,2 for a skewed one (sets -enclosures from its length unless -enclosures is given)"),
 		clients: fs.Int("clients-per-board", 0,
 			"closed-loop clients per board for interactive rack runs (0 = default provisioning; with -shards)"),
+		placement: fs.String("placement", "",
+			"enclosure-to-shard placement: block (contiguous split, the default) or balanced (deterministic load-aware bin-packing; with -shards)"),
 		diagOut: fs.String("shard-diag", "",
 			"write the shard engine's scheduling-dependent diagnostics (clock skew, mailbox depth) here as JSONL (with -shards)"),
 	}
@@ -144,17 +152,63 @@ func AddSharding(fs *flag.FlagSet) *Sharding {
 // Enabled reports whether the rack model was selected.
 func (s *Sharding) Enabled() bool { return *s.shards > 0 }
 
-// Topology builds the cluster topology, nil when -shards was not given.
-// Validation happens in SimOptions.Normalize.
+// parseBoards splits the -boards value: a single count means a uniform
+// rack (per > 0, list nil), a comma list a skewed one (list non-nil).
+func parseBoards(v string) (per int, list []int, err error) {
+	parts := strings.Split(v, ",")
+	if len(parts) == 1 {
+		per, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return 0, nil, fmt.Errorf("-boards %q: want a board count or a comma list of counts", v)
+		}
+		return per, nil, nil
+	}
+	list = make([]int, len(parts))
+	for i, p := range parts {
+		list[i], err = strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, nil, fmt.Errorf("-boards %q: entry %d is not a board count", v, i)
+		}
+	}
+	return 0, list, nil
+}
+
+// explicitlySet reports whether the named flag appeared on the command
+// line (as opposed to holding its default).
+func (s *Sharding) explicitlySet(name string) bool {
+	set := false
+	s.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Topology builds the cluster topology, nil when -shards was not
+// given. A comma-list -boards yields a heterogeneous rack and, when
+// -enclosures was not passed explicitly, sizes the rack from the
+// list's length. Topology validation happens in SimOptions.Normalize;
+// -boards syntax errors are caught by Validate.
 func (s *Sharding) Topology() *cluster.ShardedTopology {
 	if !s.Enabled() {
 		return nil
 	}
+	per, list, err := parseBoards(*s.boards)
+	if err != nil {
+		per, list = 0, nil // Validate reports the syntax error loudly
+	}
+	encl := *s.enclosures
+	if list != nil && !s.explicitlySet("enclosures") {
+		encl = len(list)
+	}
 	return &cluster.ShardedTopology{
-		Enclosures:         *s.enclosures,
-		BoardsPerEnclosure: *s.boards,
+		Enclosures:         encl,
+		BoardsPerEnclosure: per,
+		Boards:             list,
 		ClientsPerBoard:    *s.clients,
 		Shards:             *s.shards,
+		Placement:          *s.placement,
 	}
 }
 
@@ -162,11 +216,19 @@ func (s *Sharding) Topology() *cluster.ShardedTopology {
 func (s *Sharding) DiagOut() string { return *s.diagOut }
 
 // Validate rejects contradictory combinations instead of silently
-// ignoring them: -shard-diag asks for the shard engine's diagnostics,
-// which only exist when -shards selects the rack model.
+// ignoring them: -shard-diag and -placement configure the shard
+// engine, which only exists when -shards selects the rack model, and a
+// malformed -boards list must fail here rather than surface as a
+// confusing topology error.
 func (s *Sharding) Validate() error {
 	if *s.diagOut != "" && !s.Enabled() {
 		return fmt.Errorf("-shard-diag %s needs the sharded rack model: pass -shards N (the flat model has no shard engine to diagnose)", *s.diagOut)
+	}
+	if *s.placement != "" && !s.Enabled() {
+		return fmt.Errorf("-placement %s needs the sharded rack model: pass -shards N (the flat model has nothing to place)", *s.placement)
+	}
+	if _, _, err := parseBoards(*s.boards); err != nil {
+		return err
 	}
 	return nil
 }

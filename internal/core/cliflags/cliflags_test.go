@@ -38,6 +38,11 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"energy-window-alone", []string{"-energy-window", "1s"}, ""},
 		{"shard-diag-without-shards", []string{"-shard-diag", "d.jsonl"}, "needs the sharded rack model"},
 		{"shard-diag-with-shards", []string{"-shards", "2", "-shard-diag", "d.jsonl"}, ""},
+		{"placement-without-shards", []string{"-placement", "balanced"}, "needs the sharded rack model"},
+		{"placement-with-shards", []string{"-shards", "2", "-placement", "balanced"}, ""},
+		{"boards-list", []string{"-shards", "2", "-boards", "8,2,2,2"}, ""},
+		{"boards-garbage", []string{"-shards", "2", "-boards", "many"}, "-boards"},
+		{"boards-list-garbage", []string{"-shards", "2", "-boards", "8,x,2"}, "entry 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -103,5 +108,30 @@ func TestShardingAccessors(t *testing.T) {
 	sh, _, _ = newSet(t)
 	if sh.Enabled() || sh.Topology() != nil {
 		t.Error("flat model should have nil topology")
+	}
+}
+
+// TestShardingBoardsList: a comma-list -boards yields a heterogeneous
+// topology and sizes -enclosures from the list length — unless
+// -enclosures was passed explicitly, which wins (and lets Normalize
+// report the length mismatch).
+func TestShardingBoardsList(t *testing.T) {
+	sh, _, _ := newSet(t, "-shards", "2", "-boards", "8,2,2,2", "-placement", "balanced")
+	topo := sh.Topology()
+	if topo == nil || topo.Enclosures != 4 || len(topo.Boards) != 4 ||
+		topo.Boards[0] != 8 || topo.Boards[3] != 2 || topo.BoardsPerEnclosure != 0 {
+		t.Errorf("list topology %+v", topo)
+	}
+	if topo.Placement != "balanced" {
+		t.Errorf("placement %q not threaded through", topo.Placement)
+	}
+	sh, _, _ = newSet(t, "-shards", "2", "-boards", "8,2", "-enclosures", "3")
+	if topo := sh.Topology(); topo.Enclosures != 3 || len(topo.Boards) != 2 {
+		t.Errorf("explicit -enclosures overridden: %+v", topo)
+	}
+	// Uniform single count: the pre-list behavior, untouched.
+	sh, _, _ = newSet(t, "-shards", "2", "-boards", " 6 ")
+	if topo := sh.Topology(); topo.BoardsPerEnclosure != 6 || topo.Boards != nil {
+		t.Errorf("uniform topology %+v", topo)
 	}
 }

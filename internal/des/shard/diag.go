@@ -2,9 +2,20 @@ package shard
 
 import (
 	"fmt"
+	"math"
 
 	"warehousesim/internal/obs"
 )
+
+// summarySchema versions the "shard.summary" event. Version 1 carried
+// the single-lookahead fields; version 2 adds the "schema" field
+// itself and moves per-pair lookahead reporting to the companion
+// "shard.lookahead" events. Every v1 field is still emitted with its
+// v1 meaning — lookahead_util is now derived from the tightest closed
+// pair floor rather than the (gone) global scalar, which coincides
+// with it for uniform matrices — so v1 consumers keep working and a
+// consumer that needs the per-pair plane keys on schema >= 2.
+const summarySchema = 2
 
 // EmitDiagnostics writes the per-shard synchronization diagnostics
 // into rec after Run has returned: clock-skew and mailbox-depth time
@@ -12,7 +23,10 @@ import (
 // simulated time), per-shard summary counters, one "shard.summary"
 // event per shard with the round-loop self-telemetry (busy vs blocked
 // wall-clock split, EOT slack distribution, lookahead utilization),
-// and one "shard.traffic" event per ordered shard pair that exchanged
+// one "shard.lookahead" event per ordered shard pair with a finite
+// closed floor (the per-pair lookahead plane: the floor itself and its
+// utilization against the source shard's mean committed window), and
+// one "shard.traffic" event per ordered shard pair that exchanged
 // messages (the cross-shard traffic matrix).
 //
 // These values measure the engine, not the model — skew, depth, and
@@ -39,6 +53,7 @@ func (e *Engine) EmitDiagnostics(rec obs.Recorder) {
 			rec.Gauge("shard.mailbox_depth."+tag, p.t, p.v)
 		}
 		rec.Event("shard.summary", 0,
+			obs.F("schema", summarySchema),
 			obs.F("shard", float64(st.Shard)),
 			obs.F("windows", float64(st.Windows)),
 			obs.F("busy_sec", st.BusySec),
@@ -50,6 +65,20 @@ func (e *Engine) EmitDiagnostics(rec obs.Recorder) {
 			obs.F("slack_max_sec", st.SlackMaxSec),
 			obs.F("mean_window_sec", st.MeanWindowSec),
 			obs.F("lookahead_util", st.LookaheadUtil))
+		for dst, laSec := range st.LookaheadSecTo {
+			if dst == st.Shard || math.IsInf(laSec, 1) {
+				continue
+			}
+			util := 0.0
+			if st.MeanWindowSec > 0 {
+				util = math.Min(1, laSec/st.MeanWindowSec)
+			}
+			rec.Event("shard.lookahead", 0,
+				obs.F("src", float64(st.Shard)),
+				obs.F("dst", float64(dst)),
+				obs.F("lookahead_sec", laSec),
+				obs.F("util", util))
+		}
 		for dst, n := range st.SentTo {
 			if n == 0 {
 				continue

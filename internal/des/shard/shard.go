@@ -6,21 +6,54 @@
 // Synchronization is a conservative bounded-lag window protocol
 // (YAWNS-style) driven by null messages. Every cross-entity
 // interaction goes through Post, which requires a delay of at least
-// the engine lookahead L (the minimum cross-shard latency: NIC
-// serialization plus a fabric hop, see internal/fabric). Shards run in
-// lockstep rounds: each round, every shard sends every peer one batch
-// through a bounded channel mailbox — the staged cross-shard messages
-// of the window it just executed, plus its earliest output time (EOT:
-// the earliest local event, undelivered arrival, or staged send it
-// still knows about). An empty batch is a pure null message. Each
-// shard then reduces E = min over all EOTs; since any new send must
-// happen at an event time >= E, nothing can arrive anywhere before
-// E + L, and the window [committed, E+L) is safe to execute without
-// further communication. Windows therefore jump directly to the next
-// real event plus L — the classic null-message creep of asynchronous
-// Chandy-Misra (promises inching forward L at a time around topology
-// cycles) cannot happen, because EOTs carry absolute event times, not
-// incrementally-raised frontiers.
+// the lookahead floor of the (source shard, destination shard) pair:
+// Config.LookaheadMatrix, derived by the model from its topology (an
+// intra-enclosure backplane hop is cheaper than a cross-enclosure
+// fabric hop, which is cheaper than a SAN path), or a uniform matrix
+// built from the scalar Config.Lookahead. The engine closes the raw
+// matrix under min-plus (Floyd-Warshall), so a relay through an
+// intermediate shard never promises more than the sum of its hops.
+//
+// Shards run in lockstep rounds. Each round, every shard sends every
+// peer one batch through a bounded channel mailbox: the cross-shard
+// messages it staged during the window it just executed — sorted by
+// the canonical key — plus its constraint row and its scalar earliest
+// output time (EOT) and stop vote. An empty batch is a pure null
+// message. The row carries one lower bound per destination shard d on
+// when anything from this shard s can still reach d:
+//
+//	row_s[d] = min( localMin_s + L*[s][d],
+//	                min over k != d of stagedMin_s[k] + L*[k][d],
+//	                stagedMin_s[d] + rt[d] )
+//
+// where localMin_s is s's earliest local event or undelivered arrival,
+// stagedMin_s[k] is the earliest arrival s just staged for shard k,
+// L* is the closed matrix and rt[d] is the cheapest closed round trip
+// out of d. The staged terms matter: a message already in flight to k
+// can make k send to d sooner than anything still on s's heap. The
+// last term bounds the consequences of messages staged directly for d:
+// the messages themselves ride in the same batch as the row (so d
+// merges them before advancing), but d may execute one inside the very
+// window this row authorizes and trigger a reply chain that boomerangs
+// back to d — any such path leaves d and returns, so it costs at least
+// rt[d]. The diagonal slot row_s[s] carries the same bound for s
+// itself: localMin_s + rt[s] for what s's own in-window events can
+// cause to come back, plus the staged terms.
+// Every shard then holds the full row matrix and reduces, identically,
+//
+//	E_d = min over all s of row_s[d]
+//
+// so the window [committed_d, E_d) is safe for d to execute without
+// further communication — and because every shard computes every E_d
+// from the same rows, the run-dry, final-window and stop exits happen
+// on the same round everywhere: nobody is left blocking on a mailbox,
+// which is the protocol's deadlock-freedom argument. Windows jump
+// directly to the next real event plus closed lookahead — the classic
+// null-message creep of asynchronous Chandy-Misra cannot happen,
+// because rows carry absolute event times, not incrementally-raised
+// frontiers. Pairs with no modeled traffic have an infinite entry, so
+// a shard whose only coupling is the SAN path is never throttled by
+// the tighter fabric floor of pairs it does not talk to.
 //
 // Determinism does not come from the partitioning — it comes from the
 // exchange discipline, which is identical at every shard count:
@@ -28,6 +61,10 @@
 //   - Each posted message carries the key (arrive, src, per-src seq).
 //     Messages with equal arrival times are delivered in key order, so
 //     ordering never depends on which shard the sender lived on.
+//   - Batches are sorted by the sender and k-way merged by the
+//     receiver into one sorted pending run; same-shard posts sit in a
+//     separate local heap and delivery always pops the key-smaller of
+//     the two — exactly the single-heap order.
 //   - A message moves into the destination heap exactly when the
 //     destination's next local event time has reached its arrival time
 //     (the advance loop interleaves delivery and execution at event
@@ -39,9 +76,13 @@
 //     partitioning; all other traffic — blade swaps, SAN disk I/O,
 //     shuffle chunks — must use Post.
 //
+// The mailbox slabs and row vectors are recycled through small free
+// channels (ownership transfers with the batch and returns after the
+// merge), so steady-state rounds allocate nothing.
+//
 // Why conservative and not optimistic: the kernel pools event records
 // and models mutate shared resources in place, so rollback would need
-// full state checkpointing; with lookahead floors in the hundreds of
+// full state checkpointing; with lookahead floors in the tens of
 // microseconds against sub-microsecond event spacing, conservative
 // windows already batch thousands of events per synchronization round.
 package shard
@@ -49,6 +90,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,11 +113,23 @@ type Config struct {
 	// Entities is the size of the entity namespace; Post panics on IDs
 	// outside [0, Entities).
 	Entities int
-	// Lookahead is the minimum cross-entity delay L. Post rejects
-	// smaller delays; synchronization windows are derived from it. Must
-	// be > 0 when Shards > 1 — a conservative engine has no safe window
-	// at zero lookahead (see NewEngine).
+	// Lookahead is the uniform minimum cross-entity delay L, used when
+	// LookaheadMatrix is nil: every pair (including same-shard posts)
+	// gets this floor. Must be > 0 when Shards > 1 and no matrix is
+	// given — a conservative engine has no safe window at zero
+	// lookahead (see NewEngine).
 	Lookahead des.Time
+	// LookaheadMatrix, when non-nil, gives the per-(src shard, dst
+	// shard) minimum delay floor: Post from a src-shard entity to a
+	// dst-shard entity rejects delays below LookaheadMatrix[src][dst].
+	// It must be Shards x Shards; diagonal entries floor same-shard
+	// posts and may be zero; off-diagonal entries must be > 0 or +Inf
+	// (+Inf marks a pair with no modeled traffic — Post there always
+	// panics, and the pair never throttles a window). Windows are
+	// derived from the min-plus closure of this matrix, so entries
+	// need not satisfy the triangle inequality. When nil, a uniform
+	// matrix is built from Lookahead.
+	LookaheadMatrix [][]des.Time
 	// MailboxCap bounds each cross-shard channel in batches. The
 	// lockstep protocol puts at most one batch in flight per channel
 	// per round, so 0 defaults to DefaultMailboxCap purely as slack.
@@ -112,9 +166,22 @@ func msgLess(a, b message) bool {
 	return a.seq < b.seq
 }
 
+// msgCmp is msgLess for slices.SortFunc. Keys are unique (seq is
+// per-source monotonic), so the sort order is total and deterministic.
+func msgCmp(a, b message) int {
+	switch {
+	case msgLess(a, b):
+		return -1
+	case msgLess(b, a):
+		return 1
+	}
+	return 0
+}
+
 // msgHeap is a hand-rolled binary heap of messages ordered by
 // (arrive, src, seq). container/heap would box every message through
-// an interface on the pop path; this keeps delivery allocation-free.
+// an interface on the pop path; this keeps same-shard delivery
+// allocation-free.
 type msgHeap []message
 
 func (h *msgHeap) push(m message) {
@@ -159,20 +226,37 @@ func (h *msgHeap) pop() message {
 }
 
 // batch is what travels through a mailbox once per round: zero or more
-// messages (an empty batch is a null message) plus the sender's
-// earliest output time and stop vote.
+// messages sorted by (arrive, src, seq) — a nil slice is a pure null
+// message — plus the sender's constraint row (ownership transfers with
+// the batch; the receiver copies it out and returns the buffer through
+// the freeRows channel), its scalar earliest output time and its stop
+// vote.
 type batch struct {
 	eot  des.Time
+	row  []des.Time
 	stop bool
 	msgs []message
 }
 
-// peer is one outbound link: the staging buffer filled by Post and the
-// channel it is flushed into at round boundaries.
+// peer is one outbound link: the staging slab filled by Post, the
+// channel it is flushed into at round boundaries, and the free
+// channels the receiver returns consumed slabs and row buffers on.
 type peer struct {
-	shard int
-	ch    chan batch
-	stage []message
+	shard     int
+	ch        chan batch
+	stage     []message
+	stagedMin des.Time // earliest arrival among staged messages
+	freeMsgs  chan []message
+	freeRows  chan []des.Time
+}
+
+// inbox is one inbound link: the source shard id, the shared channel,
+// and the same free channels the sender's peer drains for reuse.
+type inbox struct {
+	src      int
+	ch       chan batch
+	freeMsgs chan []message
+	freeRows chan []des.Time
 }
 
 // Stats summarizes one shard's run for diagnostics. Everything here
@@ -203,14 +287,19 @@ type Stats struct {
 	SlackP95Sec   float64
 	SlackMaxSec   float64
 	// MeanWindowSec is the mean committed window width; LookaheadUtil is
-	// lookahead/MeanWindowSec in (0,1] — near 1 means windows never grow
-	// past the conservative floor (synchronization-bound), near 0 means
-	// windows batch far ahead of it (compute-bound).
+	// the engine's minimum pairwise lookahead over MeanWindowSec, in
+	// (0,1] — near 1 means windows never grow past the conservative
+	// floor (synchronization-bound), near 0 means windows batch far
+	// ahead of it (compute-bound).
 	MeanWindowSec float64
 	LookaheadUtil float64
 	// SentTo[d] is the number of cross-shard messages this shard staged
 	// for destination shard d (the traffic matrix row; SentTo[own] = 0).
 	SentTo []int64
+	// LookaheadSecTo[d] is the closed (effective) lookahead from this
+	// shard to shard d in seconds; +Inf for unreachable pairs and the
+	// raw diagonal floor for d == Shard.
+	LookaheadSecTo []float64
 }
 
 // sample is one diagnostic point (t = committed simulated time).
@@ -228,11 +317,25 @@ type Shard struct {
 	Sim *des.Sim
 
 	committed des.Time
-	pending   msgHeap // received but not yet delivered messages
-	in        []chan batch
-	peers     []*peer
-	peerBy    []*peer // indexed by destination shard id, nil for self
-	stagedMin des.Time
+	doneFinal bool
+
+	// Cross-shard arrivals: one sorted run (merged once per round from
+	// the received batches), consumed from pendHead. Same-shard posts
+	// go to the local heap; delivery pops the key-smaller of the two.
+	pending    []message
+	pendHead   int
+	mergeBuf   []message   // ping-pong buffer for the round merge
+	runs       [][]message // received slabs awaiting merge (round scratch)
+	runIn      []*inbox    // slab origin, for returning after the merge
+	srcScratch [][]message // k-way merge cursor scratch
+	local      msgHeap
+
+	in     []inbox
+	peers  []*peer
+	peerBy []*peer // indexed by destination shard id, nil for self
+
+	rows [][]des.Time // rows[s] = latest constraint row from shard s
+	eots []des.Time   // latest scalar EOT per shard (dry detection)
 
 	clockBits atomic.Uint64 // Float64bits(Sim clock at last flush), for peer skew reads
 
@@ -261,6 +364,7 @@ type Shard struct {
 	liveFired     atomic.Uint64
 	liveBusyNs    atomic.Int64
 	liveBlockedNs atomic.Int64
+	liveWidthBits atomic.Uint64 // Float64bits(widthSum), for live window-width reads
 }
 
 // Engine coordinates the shards of one run.
@@ -269,14 +373,20 @@ type Engine struct {
 	shards  []*Shard
 	owner   []int32
 	seqs    []uint64 // per-entity send sequence, written only by the owning shard
+	raw     [][]des.Time
+	closed  [][]des.Time
+	rt      []des.Time // rt[s] = min round-trip lookahead s -> any k -> s
+	minLA   des.Time
 	stopped atomic.Bool
 	ran     bool
 }
 
-// NewEngine builds an engine. It rejects Lookahead <= 0 (or NaN) when
-// Shards > 1: the conservative window is [committed, E+lookahead), so
-// at zero lookahead no shard could ever prove any event safe and the
-// engine would deadlock by construction.
+// NewEngine builds an engine. Without a matrix it rejects
+// Lookahead <= 0 (or NaN) when Shards > 1; with a matrix it rejects
+// wrong dimensions, NaN or negative entries, and non-positive finite
+// off-diagonal entries: the conservative window is bounded by the
+// pairwise lookahead, so at a zero floor no shard could ever prove any
+// event safe and the engine would deadlock by construction.
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", cfg.Shards)
@@ -284,43 +394,155 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Entities < 1 {
 		return nil, fmt.Errorf("shard: Entities must be >= 1, got %d", cfg.Entities)
 	}
-	la := float64(cfg.Lookahead)
-	if math.IsNaN(la) || la < 0 {
-		return nil, fmt.Errorf("shard: invalid lookahead %v", cfg.Lookahead)
-	}
-	if cfg.Shards > 1 && la <= 0 {
-		return nil, fmt.Errorf("shard: lookahead must be > 0 with %d shards: a conservative engine cannot form a synchronization window at zero lookahead", cfg.Shards)
+	n := cfg.Shards
+	var raw [][]des.Time
+	if cfg.LookaheadMatrix != nil {
+		if len(cfg.LookaheadMatrix) != n {
+			return nil, fmt.Errorf("shard: lookahead matrix has %d rows, want %d", len(cfg.LookaheadMatrix), n)
+		}
+		raw = make([][]des.Time, n)
+		for i, r := range cfg.LookaheadMatrix {
+			if len(r) != n {
+				return nil, fmt.Errorf("shard: lookahead matrix row %d has %d entries, want %d", i, len(r), n)
+			}
+			raw[i] = append([]des.Time(nil), r...)
+			for j, v := range r {
+				f := float64(v)
+				if math.IsNaN(f) || f < 0 {
+					return nil, fmt.Errorf("shard: invalid lookahead %v for pair (%d,%d)", v, i, j)
+				}
+				if i != j && f == 0 {
+					return nil, fmt.Errorf("shard: zero lookahead for cross-shard pair (%d,%d): a conservative engine cannot form a synchronization window at zero lookahead", i, j)
+				}
+			}
+		}
+	} else {
+		la := float64(cfg.Lookahead)
+		if math.IsNaN(la) || la < 0 {
+			return nil, fmt.Errorf("shard: invalid lookahead %v", cfg.Lookahead)
+		}
+		if n > 1 && la <= 0 {
+			return nil, fmt.Errorf("shard: lookahead must be > 0 with %d shards: a conservative engine cannot form a synchronization window at zero lookahead", n)
+		}
+		raw = make([][]des.Time, n)
+		for i := range raw {
+			raw[i] = make([]des.Time, n)
+			for j := range raw[i] {
+				raw[i][j] = cfg.Lookahead
+			}
+		}
 	}
 	if cfg.MailboxCap <= 0 {
 		cfg.MailboxCap = DefaultMailboxCap
 	}
 	e := &Engine{
-		cfg:   cfg,
-		owner: make([]int32, cfg.Entities),
-		seqs:  make([]uint64, cfg.Entities),
+		cfg:    cfg,
+		owner:  make([]int32, cfg.Entities),
+		seqs:   make([]uint64, cfg.Entities),
+		raw:    raw,
+		closed: closeMatrix(raw),
 	}
-	e.shards = make([]*Shard, cfg.Shards)
+	e.rt = make([]des.Time, n)
+	for i := 0; i < n; i++ {
+		e.rt[i] = infTime
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			if v := e.closed[i][k] + e.closed[k][i]; v < e.rt[i] {
+				e.rt[i] = v
+			}
+		}
+	}
+	e.minLA = e.closed[0][0]
+	if n > 1 {
+		e.minLA = infTime
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && e.closed[i][j] < e.minLA {
+					e.minLA = e.closed[i][j]
+				}
+			}
+		}
+		if math.IsInf(float64(e.minLA), 1) {
+			e.minLA = 0 // fully decoupled shards: no finite pair
+		}
+	}
+	e.shards = make([]*Shard, n)
 	for i := range e.shards {
-		e.shards[i] = &Shard{eng: e, id: i, Sim: des.NewSim(), stagedMin: infTime}
-		e.shards[i].stats.Shard = i
-		e.shards[i].sentTo = make([]int64, cfg.Shards)
+		s := &Shard{eng: e, id: i, Sim: des.NewSim()}
+		s.stats.Shard = i
+		s.sentTo = make([]int64, n)
+		s.rows = make([][]des.Time, n)
+		for j := range s.rows {
+			s.rows[j] = make([]des.Time, n)
+			for d := range s.rows[j] {
+				s.rows[j][d] = infTime
+			}
+		}
+		s.eots = make([]des.Time, n)
+		e.shards[i] = s
 	}
 	// Full mesh of bounded mailboxes: every ordered pair gets one
-	// channel, so EOT null messages flow even between shards that never
-	// exchange model traffic.
+	// channel, so null messages flow even between shards that never
+	// exchange model traffic. The free channels run the opposite way,
+	// recycling consumed message slabs and row buffers.
 	for _, src := range e.shards {
-		src.peerBy = make([]*peer, cfg.Shards)
+		src.peerBy = make([]*peer, n)
 		for _, dst := range e.shards {
 			if src == dst {
 				continue
 			}
-			p := &peer{shard: dst.id, ch: make(chan batch, cfg.MailboxCap)}
+			p := &peer{
+				shard:     dst.id,
+				ch:        make(chan batch, cfg.MailboxCap),
+				stagedMin: infTime,
+				freeMsgs:  make(chan []message, cfg.MailboxCap+1),
+				freeRows:  make(chan []des.Time, cfg.MailboxCap+1),
+			}
 			src.peers = append(src.peers, p)
 			src.peerBy[dst.id] = p
-			dst.in = append(dst.in, p.ch)
+			dst.in = append(dst.in, inbox{src: src.id, ch: p.ch, freeMsgs: p.freeMsgs, freeRows: p.freeRows})
 		}
 	}
 	return e, nil
+}
+
+// closeMatrix computes the min-plus closure of the raw pairwise
+// lookahead floors: closed[i][j] is the cheapest way anything leaving
+// shard i can reach shard j, relaying through intermediate shards
+// (each relay hop pays that pair's raw floor; executing at a relay is
+// free). Diagonal entries keep their raw floor — they floor same-shard
+// posts and take no part in window math.
+func closeMatrix(raw [][]des.Time) [][]des.Time {
+	n := len(raw)
+	d := make([][]des.Time, n)
+	for i := range d {
+		d[i] = append([]des.Time(nil), raw[i]...)
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if i == k {
+				continue
+			}
+			ik := d[i][k]
+			if math.IsInf(float64(ik), 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if j == k || j == i {
+					continue
+				}
+				if v := ik + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	for i := range d {
+		d[i][i] = raw[i][i]
+	}
+	return d
 }
 
 // Shards returns the partition count.
@@ -329,8 +551,16 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // Shard returns partition i.
 func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
 
-// Lookahead returns the configured minimum cross-entity delay.
-func (e *Engine) Lookahead() des.Time { return e.cfg.Lookahead }
+// Lookahead returns the engine's minimum effective cross-shard
+// lookahead: the smallest finite off-diagonal entry of the closed
+// matrix (the uniform Lookahead when no matrix was given), or the
+// same-shard floor for a single-shard engine.
+func (e *Engine) Lookahead() des.Time { return e.minLA }
+
+// PairLookahead returns the closed (effective) lookahead from shard
+// src to shard dst: the raw same-shard floor when src == dst, +Inf for
+// pairs with no modeled path.
+func (e *Engine) PairLookahead(src, dst int) des.Time { return e.closed[src][dst] }
 
 // Assign places an entity on a shard. All entities start on shard 0;
 // assignment must happen before Run.
@@ -390,10 +620,17 @@ func (e *Engine) ShardStats() []Stats {
 		if st.Windows > 0 {
 			st.MeanWindowSec = s.widthSum / float64(st.Windows)
 			if st.MeanWindowSec > 0 {
-				st.LookaheadUtil = float64(e.cfg.Lookahead) / st.MeanWindowSec
+				st.LookaheadUtil = float64(e.minLA) / st.MeanWindowSec
+				if st.LookaheadUtil > 1 {
+					st.LookaheadUtil = 1
+				}
 			}
 		}
 		st.SentTo = append([]int64(nil), s.sentTo...)
+		st.LookaheadSecTo = make([]float64, len(e.shards))
+		for d := range st.LookaheadSecTo {
+			st.LookaheadSecTo[d] = float64(e.closed[i][d])
+		}
 		out[i] = st
 	}
 	return out
@@ -413,6 +650,14 @@ type LiveStats struct {
 	Fired      uint64  `json:"fired"`
 	BusySec    float64 `json:"busy_sec"`
 	BlockedSec float64 `json:"blocked_sec"`
+	// LookaheadSecTo[d] is the closed lookahead from this shard to
+	// shard d (static for the run; pairs with no path report -1, since
+	// JSON cannot carry +Inf), and LookaheadUtil is the tightest of
+	// those floors over the shard's mean committed window so far — the
+	// live view of the per-pair utilization the post-run diagnostics
+	// break out pair by pair.
+	LookaheadSecTo []float64 `json:"lookahead_sec_to"`
+	LookaheadUtil  float64   `json:"lookahead_util"`
 }
 
 // LiveStats returns each shard's live counters. Safe to call from any
@@ -420,7 +665,7 @@ type LiveStats struct {
 func (e *Engine) LiveStats() []LiveStats {
 	out := make([]LiveStats, len(e.shards))
 	for i, s := range e.shards {
-		out[i] = LiveStats{
+		ls := LiveStats{
 			Shard:      s.id,
 			Windows:    s.liveWindows.Load(),
 			MsgsSent:   s.liveSent.Load(),
@@ -429,6 +674,20 @@ func (e *Engine) LiveStats() []LiveStats {
 			BusySec:    float64(s.liveBusyNs.Load()) / 1e9,
 			BlockedSec: float64(s.liveBlockedNs.Load()) / 1e9,
 		}
+		ls.LookaheadSecTo = make([]float64, len(e.shards))
+		for d := range ls.LookaheadSecTo {
+			if v := float64(e.closed[i][d]); math.IsInf(v, 1) {
+				ls.LookaheadSecTo[d] = -1
+			} else {
+				ls.LookaheadSecTo[d] = v
+			}
+		}
+		if w := ls.Windows; w > 0 {
+			if mean := math.Float64frombits(s.liveWidthBits.Load()) / float64(w); mean > 0 {
+				ls.LookaheadUtil = math.Min(1, float64(e.minLA)/mean)
+			}
+		}
+		out[i] = ls
 	}
 	return out
 }
@@ -442,6 +701,7 @@ func (s *Shard) publishLive() {
 	s.liveFired.Store(s.Sim.Fired())
 	s.liveBusyNs.Store(s.busyNs)
 	s.liveBlockedNs.Store(s.blockedNs)
+	s.liveWidthBits.Store(math.Float64bits(s.widthSum))
 }
 
 // noteSlack classifies one round's EOT against the global minimum:
@@ -498,10 +758,11 @@ func (s *Shard) ID() int { return s.id }
 func (s *Shard) Now() des.Time { return s.Sim.Now() }
 
 // Post sends a cross-entity event: act runs on dst's shard at
-// Now()+delay. delay must be >= the engine lookahead — that floor is
-// what makes conservative windows safe — and src must be owned by this
-// shard. Same-time deliveries are ordered by (src, per-src seq), which
-// is independent of the partitioning.
+// Now()+delay. delay must be >= the lookahead floor of the (source
+// shard, destination shard) pair — that floor is what makes
+// conservative windows safe — and src must be owned by this shard.
+// Same-time deliveries are ordered by (src, per-src seq), which is
+// independent of the partitioning.
 func (s *Shard) Post(src, dst EntityID, delay des.Time, act des.Action) {
 	e := s.eng
 	if int(src) < 0 || int(src) >= len(e.owner) || int(dst) < 0 || int(dst) >= len(e.owner) {
@@ -510,92 +771,193 @@ func (s *Shard) Post(src, dst EntityID, delay des.Time, act des.Action) {
 	if e.owner[src] != int32(s.id) {
 		panic(fmt.Sprintf("shard: Post from entity %d owned by shard %d, not %d", src, e.owner[src], s.id))
 	}
-	if math.IsNaN(float64(delay)) || delay < e.cfg.Lookahead {
-		panic(fmt.Sprintf("shard: cross-entity delay %v below lookahead %v at t=%v", delay, e.cfg.Lookahead, s.Sim.Now()))
+	dst32 := e.owner[dst]
+	if floor := e.raw[s.id][dst32]; math.IsNaN(float64(delay)) || delay < floor {
+		panic(fmt.Sprintf("shard: cross-entity delay %v below lookahead %v for shard pair (%d,%d) at t=%v", delay, floor, s.id, dst32, s.Sim.Now()))
 	}
 	m := message{arrive: s.Sim.Now() + delay, src: src, seq: e.seqs[src], act: act}
 	e.seqs[src]++
-	dst32 := e.owner[dst]
 	if int(dst32) == s.id {
-		s.pushPending(m)
+		s.pushLocal(m)
 		return
 	}
 	p := s.peerBy[dst32]
 	p.stage = append(p.stage, m)
-	if m.arrive < s.stagedMin {
-		s.stagedMin = m.arrive
+	if m.arrive < p.stagedMin {
+		p.stagedMin = m.arrive
 	}
 	s.stats.MsgsSent++
 	s.sentTo[dst32]++
 }
 
-func (s *Shard) pushPending(m message) {
-	s.pending.push(m)
-	if d := len(s.pending); d > s.stats.MaxPendingDepth {
+func (s *Shard) pushLocal(m message) {
+	s.local.push(m)
+	s.noteDepth()
+}
+
+func (s *Shard) noteDepth() {
+	if d := len(s.pending) - s.pendHead + len(s.local); d > s.stats.MaxPendingDepth {
 		s.stats.MaxPendingDepth = d
 	}
 }
 
-// eot is the shard's earliest output time: the earliest event it could
-// still execute (local heap or undelivered arrival) or has already
-// staged for a peer. Any future send happens at an event time >= eot,
-// so nothing from this shard can arrive anywhere before eot+lookahead.
-func (s *Shard) eot() des.Time {
+// localMin is the earliest event this shard could still execute: next
+// heap event, earliest undelivered cross-shard arrival, or earliest
+// undelivered same-shard post.
+func (s *Shard) localMin() des.Time {
 	e := infTime
 	if t, ok := s.Sim.PeekNext(); ok {
 		e = t
 	}
-	if len(s.pending) > 0 && s.pending[0].arrive < e {
-		e = s.pending[0].arrive
+	if s.pendHead < len(s.pending) && s.pending[s.pendHead].arrive < e {
+		e = s.pending[s.pendHead].arrive
 	}
-	if s.stagedMin < e {
-		e = s.stagedMin
+	if len(s.local) > 0 && s.local[0].arrive < e {
+		e = s.local[0].arrive
 	}
 	return e
 }
 
+// eot is the shard's scalar earliest output time: the earliest event
+// it could still execute or has already staged for a peer. Used for
+// run-dry detection and the slack telemetry; the per-destination
+// window bounds ride the constraint row instead.
+func (s *Shard) eot() des.Time {
+	e := s.localMin()
+	for _, p := range s.peers {
+		if p.stagedMin < e {
+			e = p.stagedMin
+		}
+	}
+	return e
+}
+
+// computeRow fills this shard's constraint row: for every destination
+// d, a lower bound on when anything caused by this shard's current
+// state (local events, undelivered arrivals, staged sends) can still
+// arrive at d. Messages staged directly for d are excluded — they are
+// delivered to d this very round, so they are d's local knowledge, not
+// a future arrival — but what they can cause d's peers to relay is
+// not, which is why every staged arrival bounds every destination
+// through the closed matrix.
+//
+// The diagonal slot carries the bound this shard's own activity puts
+// on itself: its staged sends can rebound (stagedMin[k] + L*[k][s]),
+// and — crucially — so can events it has not executed yet. An event
+// at t executed inside the window can post a request whose reply
+// arrives at t plus one round trip, so the window must not extend past
+// localMin + min round-trip lookahead. Dropping that term is the
+// classic over-wide-window unsoundness: a board's own SAN request,
+// issued mid-window, would rebound into its past.
+func (s *Shard) computeRow() {
+	row := s.rows[s.id]
+	lm := s.localMin()
+	closed := s.eng.closed
+	for d := range row {
+		var v des.Time
+		if d != s.id {
+			v = lm + closed[s.id][d]
+		} else {
+			v = lm + s.eng.rt[s.id]
+		}
+		for _, p := range s.peers {
+			if math.IsInf(float64(p.stagedMin), 1) {
+				continue
+			}
+			var c des.Time
+			if p.shard == d {
+				// Messages staged directly for d ride in this very
+				// batch, so d merges them before advancing — but their
+				// consequences do not: d may execute one inside this
+				// round's window and trigger a chain (a SAN reply, a
+				// further request) that boomerangs back to d. Any such
+				// path leaves d and returns, so it costs at least
+				// rt[d], the cheapest round trip out of d.
+				c = p.stagedMin + s.eng.rt[d]
+			} else {
+				c = p.stagedMin + closed[p.shard][d]
+			}
+			if c < v {
+				v = c
+			}
+		}
+		row[d] = v
+	}
+}
+
 // run is one shard's side of the lockstep round protocol:
 //
-//	flush {staged msgs, EOT, stop vote} to every peer
-//	receive one batch from every peer; E = min over all EOTs
-//	stop, run dry (E = +Inf), or execute the window [committed, E+L)
+//	compute the constraint row; flush {sorted staged msgs, row, EOT,
+//	stop vote} to every peer
+//	receive one batch from every peer; merge the sorted runs into the
+//	pending run; reduce E_d = min over all rows for every destination
+//	stop, run dry (all EOTs +Inf), or execute the window
+//	[committed, E_self), finishing inclusively at the horizon once
+//	E_self has passed it
 //
-// Every shard computes the same E from the same N values, so all
-// shards take the final/dry/stop exits in the same round: nobody is
-// left blocking on a mailbox, which is the protocol's deadlock-freedom
+// Every shard computes every E_d from the same N rows, so all shards
+// take the final/dry/stop exits in the same round: nobody is left
+// blocking on a mailbox, which is the protocol's deadlock-freedom
 // argument (each round sends all batches before receiving any, and a
-// mailbox holds at most one in-flight batch per round).
+// mailbox holds at most one in-flight batch per round). A shard whose
+// horizon window is already done keeps relaying null messages until
+// the exit is global.
 func (s *Shard) run(until des.Time) {
-	la := s.eng.cfg.Lookahead
+	n := len(s.eng.shards)
 	// Two wall-clock reads per round split the loop into a blocked
 	// segment (flush + mailbox waits) and a busy segment (window
 	// execution) — with thousands of events per window the overhead is
 	// noise, and the split is the shard's parallel-efficiency signal.
 	last := time.Now()
 	for {
+		s.computeRow()
 		myEOT := s.eot()
+		s.eots[s.id] = myEOT
 		myStop := s.eng.stopped.Load()
 		for _, p := range s.peers {
-			p.ch <- batch{eot: myEOT, stop: myStop, msgs: p.stage}
-			p.stage = nil
+			msgs := p.stage
+			if len(msgs) > 0 {
+				slices.SortFunc(msgs, msgCmp)
+				p.stage = nil
+				select {
+				case p.stage = <-p.freeMsgs:
+				default:
+				}
+			} else {
+				msgs = nil // keep the empty slab, send a pure null message
+			}
+			var row []des.Time
+			select {
+			case row = <-p.freeRows:
+			default:
+				row = make([]des.Time, n)
+			}
+			copy(row, s.rows[s.id])
+			p.ch <- batch{eot: myEOT, row: row, stop: myStop, msgs: msgs}
+			p.stagedMin = infTime
 		}
-		s.stagedMin = infTime
 		s.clockBits.Store(math.Float64bits(float64(s.Sim.Now())))
-		e, stop := myEOT, myStop
-		for _, ch := range s.in {
-			b := <-ch
-			if b.eot < e {
-				e = b.eot
+		stop := myStop
+		for i := range s.in {
+			in := &s.in[i]
+			b := <-in.ch
+			copy(s.rows[in.src], b.row)
+			select {
+			case in.freeRows <- b.row:
+			default:
 			}
+			s.eots[in.src] = b.eot
 			stop = stop || b.stop
-			if n := len(b.msgs); n > s.stats.MaxBatchMsgs {
-				s.stats.MaxBatchMsgs = n
-			}
-			for _, m := range b.msgs {
-				s.pushPending(m)
-				s.stats.MsgsRecv++
+			if len(b.msgs) > 0 {
+				s.stats.MsgsRecv += int64(len(b.msgs))
+				if len(b.msgs) > s.stats.MaxBatchMsgs {
+					s.stats.MaxBatchMsgs = len(b.msgs)
+				}
+				s.runs = append(s.runs, b.msgs)
+				s.runIn = append(s.runIn, in)
 			}
 		}
+		s.mergeRuns()
 		now := time.Now()
 		s.blockedNs += now.Sub(last).Nanoseconds()
 		last = now
@@ -603,31 +965,134 @@ func (s *Shard) run(until des.Time) {
 			s.publishLive()
 			return
 		}
-		if math.IsInf(float64(e), 1) {
+		dry := true
+		for _, e := range s.eots {
+			if !math.IsInf(float64(e), 1) {
+				dry = false
+				break
+			}
+		}
+		if dry {
 			s.publishLive()
 			return // the whole cluster ran dry
 		}
-		s.noteSlack(myEOT, e)
-		if e+la > until {
-			// The remaining window covers the horizon: finish
-			// inclusively. Sends staged here would arrive past the
-			// horizon, so no further exchange is needed.
-			s.advance(until, true)
-			s.busyNs += time.Since(last).Nanoseconds()
+		binding := infTime
+		for _, e := range s.eots {
+			if e < binding {
+				binding = e
+			}
+		}
+		s.noteSlack(myEOT, binding)
+		myE, allFinal := infTime, true
+		for d := 0; d < n; d++ {
+			ed := infTime
+			for k := 0; k < n; k++ {
+				if s.rows[k][d] < ed {
+					ed = s.rows[k][d]
+				}
+			}
+			if !(ed > until) {
+				allFinal = false
+			}
+			if d == s.id {
+				myE = ed
+			}
+		}
+		if allFinal {
+			// Every shard's remaining window covers the horizon: finish
+			// inclusively, everywhere, this round. Sends staged by the
+			// final window would arrive past the horizon, so no further
+			// exchange is needed.
+			if !s.doneFinal {
+				s.advance(until, true)
+				s.busyNs += time.Since(last).Nanoseconds()
+			}
 			s.publishLive()
 			return
 		}
-		w := e + la
-		s.advance(w, false)
-		now = time.Now()
-		s.busyNs += now.Sub(last).Nanoseconds()
-		last = now
-		s.widthSum += float64(w - s.committed)
-		s.committed = w
-		s.stats.Windows++
-		s.noteWindow()
+		if myE > until {
+			// This shard's horizon window is safe even though peers still
+			// have in-horizon work: execute it once, then keep relaying
+			// rows until the exit is global.
+			if !s.doneFinal {
+				s.advance(until, true)
+				s.doneFinal = true
+			}
+			now = time.Now()
+			s.busyNs += now.Sub(last).Nanoseconds()
+			last = now
+			s.publishLive()
+			continue
+		}
+		if myE > s.committed {
+			s.advance(myE, false)
+			now = time.Now()
+			s.busyNs += now.Sub(last).Nanoseconds()
+			last = now
+			s.widthSum += float64(myE - s.committed)
+			s.committed = myE
+			s.stats.Windows++
+			s.noteWindow()
+		}
 		s.publishLive()
 	}
+}
+
+// mergeRuns folds the round's received slabs and the unconsumed tail
+// of the pending run into one sorted run (a k-way merge over at most
+// Shards sorted sources — keys are unique, so the order is total),
+// then clears and returns the slabs to their senders' free channels.
+// The old pending array becomes the next round's merge buffer, so
+// steady-state rounds allocate nothing.
+func (s *Shard) mergeRuns() {
+	if len(s.runs) == 0 {
+		return
+	}
+	left := s.pending[s.pendHead:]
+	total := len(left)
+	for _, r := range s.runs {
+		total += len(r)
+	}
+	buf := s.mergeBuf[:0]
+	if cap(buf) < total {
+		buf = make([]message, 0, total+total/2)
+	}
+	srcs := append(s.srcScratch[:0], s.runs...)
+	if len(left) > 0 {
+		srcs = append(srcs, left)
+	}
+	for {
+		best := -1
+		for i := range srcs {
+			if len(srcs[i]) == 0 {
+				continue
+			}
+			if best == -1 || msgLess(srcs[i][0], srcs[best][0]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		buf = append(buf, srcs[best][0])
+		srcs[best] = srcs[best][1:]
+	}
+	s.srcScratch = srcs[:0]
+	for i, r := range s.runs {
+		clear(r)
+		select {
+		case s.runIn[i].freeMsgs <- r[:0]:
+		default:
+		}
+	}
+	clear(s.pending[s.pendHead:])
+	old := s.pending
+	s.runs = s.runs[:0]
+	s.runIn = s.runIn[:0]
+	s.pending = buf
+	s.mergeBuf = old[:0]
+	s.pendHead = 0
+	s.noteDepth()
 }
 
 // runSingle is the one-shard fast path: no rounds, no channels — the
@@ -639,6 +1104,19 @@ func (s *Shard) runSingle(until des.Time) {
 	s.advance(until, true)
 	s.busyNs += time.Since(start).Nanoseconds()
 	s.publishLive()
+}
+
+// nextArrival peeks the earliest undelivered message across the
+// pending run and the local heap.
+func (s *Shard) nextArrival() (des.Time, bool) {
+	t, ok := infTime, false
+	if s.pendHead < len(s.pending) {
+		t, ok = s.pending[s.pendHead].arrive, true
+	}
+	if len(s.local) > 0 && (!ok || s.local[0].arrive < t) {
+		t, ok = s.local[0].arrive, true
+	}
+	return t, ok
 }
 
 // advance interleaves message delivery and event execution at event
@@ -654,8 +1132,7 @@ func (s *Shard) advance(target des.Time, final bool) {
 			return
 		}
 		na, hasNa := s.Sim.PeekNext()
-		if len(s.pending) > 0 {
-			ma := s.pending[0].arrive
+		if ma, ok := s.nextArrival(); ok {
 			if (ma < target || (final && ma == target)) && (!hasNa || ma <= na) {
 				s.deliverAt(ma)
 				continue
@@ -672,16 +1149,40 @@ func (s *Shard) advance(target des.Time, final bool) {
 	}
 }
 
-// deliverAt moves every pending message arriving exactly at t into the
-// local heap. The pending heap yields them in (src, seq) order, and
-// all possible senders for time t have already executed (their events
-// ran at t-lookahead or earlier), so the batch is complete and
-// canonically ordered at any shard count.
+// deliverAt moves every undelivered message arriving exactly at t into
+// the local event heap, popping the (src, seq)-smaller of the pending
+// run head and the local heap top so the order matches the single-heap
+// kernel. All possible senders for time t have already executed (their
+// events ran at least a lookahead floor earlier), so the batch is
+// complete and canonically ordered at any shard count.
 func (s *Shard) deliverAt(t des.Time) {
-	for len(s.pending) > 0 && s.pending[0].arrive == t {
-		m := s.pending.pop()
+	for {
+		hasP := s.pendHead < len(s.pending) && s.pending[s.pendHead].arrive == t
+		hasL := len(s.local) > 0 && s.local[0].arrive == t
+		var m message
+		switch {
+		case hasP && hasL:
+			if msgLess(s.pending[s.pendHead], s.local[0]) {
+				m = s.popPending()
+			} else {
+				m = s.local.pop()
+			}
+		case hasP:
+			m = s.popPending()
+		case hasL:
+			m = s.local.pop()
+		default:
+			return
+		}
 		s.Sim.ScheduleAt(m.arrive, m.act)
 	}
+}
+
+func (s *Shard) popPending() message {
+	m := s.pending[s.pendHead]
+	s.pending[s.pendHead] = message{} // drop the action so the run retains no closures
+	s.pendHead++
+	return m
 }
 
 // noteWindow records clock-skew and mailbox-depth diagnostics every
@@ -700,7 +1201,7 @@ func (s *Shard) noteWindow() {
 	if skew := float64(s.Sim.Now() - minClock); skew > s.stats.MaxSkewSec {
 		s.stats.MaxSkewSec = skew
 	}
-	if d := len(s.pending); d > s.depthSinceS {
+	if d := len(s.pending) - s.pendHead + len(s.local); d > s.depthSinceS {
 		s.depthSinceS = d
 	}
 	s.winSinceSamp++

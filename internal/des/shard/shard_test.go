@@ -55,6 +55,16 @@ func buildToy(t *testing.T, nShards, nNodes int, la, until des.Time, mailboxCap 
 	if err != nil {
 		t.Fatal(err)
 	}
+	return wireToy(t, eng, nNodes, la, until)
+}
+
+// wireToy attaches the toy model to an already-built engine, so matrix
+// tests can run the same workload over non-uniform lookahead floors.
+// Post delays are always >= la, so any matrix whose finite entries stay
+// at or below la keeps every post legal.
+func wireToy(t *testing.T, eng *Engine, nNodes int, la, until des.Time) *toyNet {
+	t.Helper()
+	nShards := eng.Shards()
 	tn := &toyNet{eng: eng, la: la, until: until}
 	for i := 0; i < nNodes; i++ {
 		id := EntityID(i)

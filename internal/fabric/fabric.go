@@ -188,3 +188,28 @@ func CrossEnclosureLatencySec(nicBytesPerSec float64) float64 {
 	}
 	return CrossEnclosureUnitBytes/nicBytesPerSec + EdgeHopLatencySec
 }
+
+// IntraEnclosureLatencySec returns the minimum one-way latency of a
+// transfer that stays inside one enclosure (a board talking to its
+// enclosure's memory blade over the backplane): the transfer unit
+// still serializes onto the sender's link, but no store-and-forward
+// switch hop is crossed. Always strictly below the cross-enclosure
+// bound, which is what lets the sharded kernel give co-resident
+// traffic a tighter floor without loosening any cross-shard window.
+func IntraEnclosureLatencySec(nicBytesPerSec float64) float64 {
+	if nicBytesPerSec <= 0 {
+		return EdgeHopLatencySec / 2
+	}
+	return CrossEnclosureUnitBytes / nicBytesPerSec
+}
+
+// SANPathLatencySec returns the minimum one-way latency of a SAN block
+// transfer: the cross-enclosure path plus one extra edge hop through
+// the storage head's switch port. SAN traffic is the only interactive
+// cross-enclosure traffic in the rack model, so this (looser) bound is
+// what the per-pair lookahead matrix assigns to board-shard ↔ SAN-shard
+// pairs — widening their synchronization windows relative to the raw
+// fabric floor.
+func SANPathLatencySec(nicBytesPerSec float64) float64 {
+	return CrossEnclosureLatencySec(nicBytesPerSec) + EdgeHopLatencySec
+}

@@ -162,3 +162,31 @@ func TestCrossEnclosureLatency(t *testing.T) {
 		t.Errorf("zero-bandwidth fallback = %g, want %g", f, EdgeHopLatencySec)
 	}
 }
+
+// TestLatencyClassOrdering: the three rack traffic classes must stay
+// strictly ordered — intra-enclosure (no switch hop) below
+// cross-enclosure (one edge hop) below the SAN path (an extra hop) —
+// at any bandwidth, because the shard lookahead matrix is built from
+// exactly this ordering.
+func TestLatencyClassOrdering(t *testing.T) {
+	for _, nic := range []float64{0, 125e6, 1.25e9, 12.5e9} {
+		intra := IntraEnclosureLatencySec(nic)
+		cross := CrossEnclosureLatencySec(nic)
+		san := SANPathLatencySec(nic)
+		if !(0 < intra && intra < cross && cross < san) {
+			t.Errorf("nic=%g: class ordering violated: intra %g, cross %g, san %g", nic, intra, cross, san)
+		}
+	}
+	// 1 GbE: intra is pure serialization, the SAN path adds one hop to
+	// the cross-enclosure number.
+	if got, want := IntraEnclosureLatencySec(125e6), 4096.0/125e6; got != want {
+		t.Errorf("IntraEnclosureLatencySec(1GbE) = %g, want %g", got, want)
+	}
+	if got, want := SANPathLatencySec(125e6), CrossEnclosureLatencySec(125e6)+EdgeHopLatencySec; got != want {
+		t.Errorf("SANPathLatencySec(1GbE) = %g, want %g", got, want)
+	}
+	// Degenerate bandwidth: the half-hop fallback keeps intra below cross.
+	if got, want := IntraEnclosureLatencySec(0), EdgeHopLatencySec/2; got != want {
+		t.Errorf("zero-bandwidth intra fallback = %g, want %g", got, want)
+	}
+}
