@@ -1,8 +1,10 @@
 # Tier-1 gate for warehousesim (documented in ROADMAP.md).
 #
-#   make check   — everything CI runs: vet, build, race tests, gofmt,
-#                  shard-equivalence (sharded kernel must reproduce the
-#                  single-heap export byte-for-byte)
+#   make check   — everything CI runs: vet, lint, build, race tests,
+#                  gofmt, shard-equivalence (sharded kernel must
+#                  reproduce the single-heap export byte-for-byte)
+#   make lint    — whvet, the repo's own static-invariant suite
+#                  (determinism, allocation, link-boundary; DESIGN.md §11)
 #   make test    — plain tests (the seed tier-1 command)
 #   make bench   — benchmark harness with allocation reporting
 #   make bench-json — machine-readable micro-bench record (BENCH_$(N).json)
@@ -35,12 +37,21 @@ BENCH_NEW ?= BENCH_5.json
 # machine had fewer than 4 CPUs or GOMAXPROCS).
 EFF_FLOOR ?= 0.4
 
-.PHONY: check vet build test test-race fmt bench bench-json bench-diff shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke cover
+.PHONY: check vet lint build test test-race fmt bench bench-json bench-diff shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke cover
 
-check: vet build test-race fmt shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke
+check: vet lint build test-race fmt shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke
 
 vet:
 	$(GO) vet ./...
+
+# whvet statically enforces what the byte-diff gates below only
+# sample: no nondeterminism sources in model code, no unordered map
+# iteration on export paths, net/http only behind the introspect
+# boundary, allocation discipline in //perf:hotpath functions, and the
+# metric-name registry. Findings are suppressed only by reasoned
+# //whvet:allow directives (see DESIGN.md §11).
+lint:
+	$(GO) run ./cmd/whvet ./...
 
 build:
 	$(GO) build ./...

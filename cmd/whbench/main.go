@@ -21,6 +21,8 @@ import (
 	"warehousesim/experiments"
 	"warehousesim/internal/core/cliflags"
 	"warehousesim/internal/obs"
+	//whvet:allow nohttp whbench opts into the HTTP stack for the -http live-introspection endpoint; the cost is paid only by this binary
+	"warehousesim/internal/obs/introspect"
 )
 
 func main() {
@@ -91,7 +93,7 @@ func main() {
 
 	// Live /obs progress snapshots need a sink even when no export was
 	// requested — but only an explicit ask should write an obs file.
-	intro, bound, err := httpFlag.Serve()
+	intro, bound, err := introspect.ServeAddr(httpFlag.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,6 +31,8 @@ import (
 	"warehousesim/internal/metrics"
 	"warehousesim/internal/obs"
 	"warehousesim/internal/obs/energy"
+	//whvet:allow nohttp whsim opts into the HTTP stack for the -http live-introspection endpoint; the cost is paid only by this binary
+	"warehousesim/internal/obs/introspect"
 	"warehousesim/internal/obs/span"
 	"warehousesim/internal/obs/window"
 	"warehousesim/internal/platform"
@@ -194,7 +196,7 @@ func main() {
 		})
 	}
 
-	intro, bound, err := httpFlag.Serve()
+	intro, bound, err := introspect.ServeAddr(httpFlag.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}

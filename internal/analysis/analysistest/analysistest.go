@@ -1,0 +1,138 @@
+// Package analysistest runs whvet analyzers over fixture trees under
+// internal/analysis/testdata/src and checks the produced findings
+// against `// want <check>:"substring"` comments in the fixture
+// sources — the same expectation style as golang.org/x/tools'
+// analysistest, restated over this repo's stdlib-only framework.
+//
+// A want comment binds to the source line it sits on; a comment line
+// that is nothing but a want binds to the line below it (needed when
+// the flagged line is itself a //whvet: directive, whose trailing text
+// would otherwise be parsed as the directive's reason). Multiple
+// expectations may share one line:
+//
+//	for k := range m { // want maprange:"iteration order" maprange:"sort"
+//
+// The run fails when a finding has no matching want on its line, and
+// when a want matched no finding. Directive errors surface under the
+// check name "whvet" and are asserted the same way, which is how the
+// unknown-check-directive-is-an-error contract is pinned.
+//
+// Fixtures live inside the module on purpose: `testdata` is invisible
+// to ./... wildcards at the repo root, so the seeded violations never
+// leak into builds, tests, or make lint, while go list still resolves
+// and type-checks them when invoked from inside the fixture directory.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"warehousesim/internal/analysis"
+)
+
+// expectation is one parsed want: a check name and a message substring
+// expected at file:line.
+type expectation struct {
+	file  string // fixture-relative, slash-separated
+	line  int
+	check string
+	sub   string
+}
+
+var wantRE = regexp.MustCompile(`(\w+):"((?:[^"\\]|\\.)*)"`)
+
+// Run executes the analyzers over the fixture tree rooted at
+// testdata/src/<fixture> (relative to the caller's package directory)
+// and matches findings against the tree's want comments. knownChecks
+// seeds directive validation; pass the full registry the way cmd/whvet
+// does.
+func Run(t *testing.T, fixture string, analyzers []*analysis.Analyzer, knownChecks []string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("analysistest: resolving fixture dir: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("analysistest: fixture %s: %v", fixture, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	findings, err := analysis.Run(analysis.Options{
+		Dir:         dir,
+		Analyzers:   analyzers,
+		KnownChecks: knownChecks,
+	})
+	if err != nil {
+		t.Fatalf("analysistest: running analyzers over %s: %v", fixture, err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != f.File || w.line != f.Line || w.check != f.Check {
+				continue
+			}
+			if strings.Contains(f.Message, w.sub) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding:\n  %s", fixture, f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: no %s finding matching %q at %s:%d", fixture, w.check, w.sub, w.file, w.line)
+		}
+	}
+}
+
+// collectWants parses every fixture .go file for want comments.
+func collectWants(dir string) ([]expectation, error) {
+	var wants []expectation
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			bindLine := i + 1
+			if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
+				bindLine = i + 2 // standalone want binds to the next line
+			}
+			spec := line[idx+len("// want "):]
+			ms := wantRE.FindAllStringSubmatch(spec, -1)
+			if len(ms) == 0 {
+				return fmt.Errorf(`%s:%d: malformed want comment (need <check>:"substring")`, rel, i+1)
+			}
+			for _, m := range ms {
+				wants = append(wants, expectation{file: rel, line: bindLine, check: m[1], sub: m[2]})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The //whvet:allow directive grammar.
+//
+//	//whvet:allow <check> <reason>
+//
+// A directive suppresses diagnostics of the named check on its own
+// line, on the line directly below it, or — when it appears in the doc
+// comment of a declaration — anywhere inside that declaration. The
+// reason is part of the grammar, not a convention: a directive without
+// one is a finding, as is a directive naming a check whvet does not
+// know, so suppressions can neither rot silently nor typo themselves
+// into no-ops.
+
+const directivePrefix = "//whvet:"
+
+// allowDirective is one parsed //whvet:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	// line is the line the comment sits on; it suppresses diagnostics
+	// on line and line+1.
+	line int
+	// declStart/declEnd, when non-zero, extend suppression to the
+	// whole enclosing declaration (doc-comment placement).
+	declStart, declEnd int
+}
+
+// fileDirectives is the directive index of one file.
+type fileDirectives struct {
+	allows []allowDirective
+}
+
+// parseDirectives scans every comment of f for //whvet: directives.
+// Malformed directives are reported through report (as check "whvet")
+// and excluded from the index.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report func(pos token.Pos, msg string)) fileDirectives {
+	// Doc-comment directives get declaration extent; index decl ranges
+	// by comment group first.
+	type span struct{ start, end int }
+	declOf := make(map[*ast.CommentGroup]span)
+	for _, d := range f.Decls {
+		var doc *ast.CommentGroup
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc != nil {
+			declOf[doc] = span{fset.Position(d.Pos()).Line, fset.Position(d.End()).Line}
+		}
+	}
+
+	var fd fileDirectives
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := text[len(directivePrefix):]
+			verb, args, _ := strings.Cut(rest, " ")
+			if verb != "allow" {
+				report(c.Pos(), "unknown whvet directive //whvet:"+verb+" (only //whvet:allow <check> <reason> is defined)")
+				continue
+			}
+			check, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+			reason = strings.TrimSpace(reason)
+			if check == "" {
+				report(c.Pos(), "malformed directive: //whvet:allow needs a check name and a reason")
+				continue
+			}
+			if !known[check] {
+				report(c.Pos(), "directive allows unknown check "+strconv.Quote(check)+" (known: "+strings.Join(sortedNames(known), ", ")+")")
+				continue
+			}
+			if reason == "" {
+				report(c.Pos(), "directive //whvet:allow "+check+" is missing its reason")
+				continue
+			}
+			d := allowDirective{check: check, reason: reason, line: fset.Position(c.Pos()).Line}
+			if sp, ok := declOf[cg]; ok {
+				d.declStart, d.declEnd = sp.start, sp.end
+			}
+			fd.allows = append(fd.allows, d)
+		}
+	}
+	return fd
+}
+
+// suppresses reports whether the index contains an allow for check
+// covering line.
+func (fd fileDirectives) suppresses(check string, line int) bool {
+	for _, a := range fd.allows {
+		if a.check != check {
+			continue
+		}
+		if line == a.line || line == a.line+1 {
+			return true
+		}
+		if a.declStart != 0 && line >= a.declStart && line <= a.declEnd {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

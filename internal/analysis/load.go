@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves packages with `go list -export -deps -json` and
+// type-checks the module's packages from source. Standard-library
+// dependencies are imported from the compiler's export data (the
+// Export field go list reports), so loading needs no module proxy, no
+// GOPATH layout, and no re-type-check of the standard library — the
+// same offline posture as the rest of the repo.
+
+// loadedPackage is one type-checked module package plus the metadata
+// the runner and analyzers need.
+type loadedPackage struct {
+	path  string
+	dir   string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	deps  map[string]bool // transitive import paths
+	// root marks packages matched by the requested patterns (as
+	// opposed to dependencies pulled in by -deps); only roots are
+	// analyzed.
+	root bool
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// loadPackages lists patterns relative to dir, parses and type-checks
+// every non-standard package, and returns the shared FileSet, the
+// packages in dependency order, and a whole-graph transitive-closure
+// lookup (standard library included).
+func loadPackages(dir string, patterns []string) (*token.FileSet, []*loadedPackage, func(string) map[string]bool, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Imports,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPackage
+	byPath := make(map[string]*listPackage)
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		listed = append(listed, p)
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Transitive import closure per package, memoized over the listing
+	// (which contains the full dependency graph thanks to -deps).
+	closure := make(map[string]map[string]bool)
+	var depsOf func(path string) map[string]bool
+	depsOf = func(path string) map[string]bool {
+		if d, ok := closure[path]; ok {
+			return d
+		}
+		d := make(map[string]bool)
+		closure[path] = d // set before recursing; import graphs are acyclic
+		if p := byPath[path]; p != nil {
+			for _, imp := range p.Imports {
+				if imp == "C" {
+					continue
+				}
+				d[imp] = true
+				for sub := range depsOf(imp) {
+					d[sub] = true
+				}
+			}
+		}
+		return d
+	}
+
+	fset := token.NewFileSet()
+	typed := make(map[string]*types.Package)
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*loadedPackage
+	for _, lp := range listed {
+		if lp.Standard {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if tp, ok := typed[path]; ok {
+					return tp, nil
+				}
+				if path == "unsafe" {
+					return types.Unsafe, nil
+				}
+				return gcImp.Import(path)
+			}),
+		}
+		tp, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		typed[lp.ImportPath] = tp
+		pkgs = append(pkgs, &loadedPackage{
+			path:  lp.ImportPath,
+			dir:   lp.Dir,
+			files: files,
+			pkg:   tp,
+			info:  info,
+			deps:  depsOf(lp.ImportPath),
+			root:  !lp.DepOnly,
+		})
+	}
+	return fset, pkgs, func(path string) map[string]bool {
+		if _, ok := byPath[path]; !ok {
+			return nil
+		}
+		return depsOf(path)
+	}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

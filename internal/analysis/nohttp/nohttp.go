@@ -1,0 +1,79 @@
+// Package nohttp enforces the net/http link boundary established in
+// PR 2: linking net/http into a simulation binary shifted
+// BenchmarkDESTrial's B/op by ~20 (init-time allocation noise in the
+// shared runtime), so the HTTP server lives in the one leaf package
+// internal/obs/introspect, and only cmd/* entry points that opt in —
+// with an explicit //whvet:allow nohttp directive on the import — may
+// link it from there.
+//
+// The check is transitive: a package is flagged when net/http appears
+// anywhere in its import closure, and the diagnostic lands on the
+// direct import that pulls it in, so the leak's entry edge is the
+// thing that gets reviewed. Outside cmd/* the diagnostic cannot be
+// suppressed at all — an allowlist entry in a library package would be
+// a boundary change, which belongs in this analyzer, not in a
+// directive.
+package nohttp
+
+import (
+	"strconv"
+	"strings"
+
+	"warehousesim/internal/analysis"
+)
+
+// Analyzer is the nohttp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nohttp",
+	Doc:  "net/http may link only into internal/obs/introspect and cmd/* entry points that opt in",
+	Run:  run,
+}
+
+// Sanctioned is the one package allowed to import net/http without a
+// directive: the introspection server that exists precisely to keep
+// the HTTP dependency out of everything else.
+const Sanctioned = "warehousesim/internal/obs/introspect"
+
+// EntryPrefixes lists the import-path prefixes treated as opt-in
+// entry points: within them a //whvet:allow nohttp directive on the
+// offending import is honored. It is a variable so the analysistest
+// fixtures can stand in their own tree.
+var EntryPrefixes = []string{"warehousesim/cmd/"}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath == Sanctioned || strings.HasPrefix(pass.PkgPath, Sanctioned+"/") {
+		return nil
+	}
+	if !pass.Deps["net/http"] {
+		return nil
+	}
+	entry := isEntry(pass.PkgPath)
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != "net/http" && !pass.DepsOf(path)["net/http"] {
+				continue
+			}
+			msg := "net/http links in through import " + strconv.Quote(path) +
+				"; the link boundary allows it only in " + Sanctioned + " and opted-in cmd/* entry points (PR 2: linking net/http shifted BenchmarkDESTrial B/op)"
+			if entry {
+				pass.Reportf(imp.Pos(), "%s", msg)
+			} else {
+				pass.ReportNoAllow(imp.Pos(), "%s", msg)
+			}
+		}
+	}
+	return nil
+}
+
+func isEntry(pkgPath string) bool {
+	for _, p := range EntryPrefixes {
+		if strings.HasPrefix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}

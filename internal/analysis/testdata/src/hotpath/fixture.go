@@ -1,0 +1,72 @@
+// Package fixture seeds each hotpath regression class inside a marked
+// function, plus the shapes the check must leave alone.
+package fixture
+
+import "fmt"
+
+type buffer struct{ vals []int }
+
+func box(v interface{}) { _ = v }
+
+// hot carries the marker, so every regression class inside it is a
+// finding.
+//
+//perf:hotpath
+func hot(b *buffer, xs []int, name string) string {
+	cont := func() {} // want hotpath:"closure in hot path"
+	cont()
+	s := fmt.Sprintf("n=%d", len(xs)) // want hotpath:"fmt.Sprintf in hot path"
+	label := name + s                 // want hotpath:"string concatenation"
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x) // want hotpath:"append growth"
+	}
+	b.vals = grown
+	box(len(xs)) // want hotpath:"interface boxing"
+	box(b)       // pointer-shaped: fits the interface word, no allocation
+	box(nil)
+	return label
+}
+
+// cold has the same body but no marker: unmarked functions are out of
+// scope by design (the check is opt-in).
+func cold(xs []int, name string) string {
+	s := fmt.Sprintf("n=%d", len(xs))
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x)
+	}
+	_ = grown
+	return name + s
+}
+
+// preallocated shows the sanctioned append shape: capacity up front.
+//
+//perf:hotpath
+func preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// guarded shows the sanctioned cold-panic exception: the format call
+// sits on a never-taken guard path and carries a reasoned directive.
+//
+//perf:hotpath
+func guarded(x int) int {
+	if x < 0 {
+		//whvet:allow hotpath fixture: cold panic path, the guard never fires in a correct run
+		panic(fmt.Sprintf("negative %d", x))
+	}
+	return x * 2
+}
+
+// constant folding is exempt: "a" + "b" costs nothing at run time.
+//
+//perf:hotpath
+func folded() string {
+	const prefix = "trial"
+	return prefix + ".completed"
+}

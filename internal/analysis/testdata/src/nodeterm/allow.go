@@ -1,0 +1,29 @@
+package fixture
+
+import "time"
+
+// allowedDecl shows decl-scoped suppression: a directive in the doc
+// comment covers the whole declaration.
+//
+//whvet:allow nodeterm fixture: wall clock feeds telemetry only, nothing compared
+func allowedDecl() (time.Time, time.Time) {
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //whvet:allow nodeterm fixture: same-line suppression
+}
+
+func allowedLineAbove() time.Time {
+	//whvet:allow nodeterm fixture: line-above suppression
+	return time.Now()
+}
+
+func notCovered() time.Time {
+	//whvet:allow nodeterm fixture: a directive only reaches its own line and the next
+	x := 0
+	_ = x
+	return time.Now() // want nodeterm:"wall clock: time.Now"
+}

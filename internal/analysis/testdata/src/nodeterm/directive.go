@@ -1,0 +1,14 @@
+package fixture
+
+// Malformed directives are findings under the reserved check name
+// "whvet" — a typoed suppression must fail loudly, not become a no-op.
+
+//whvet:deny nodeterm suppression is opt-in only // want whvet:"unknown whvet directive"
+
+//whvet:allow nosuchcheck reasons do not save unknown checks // want whvet:"allows unknown check"
+
+// want whvet:"missing its reason"
+//whvet:allow nodeterm
+
+// want whvet:"needs a check name"
+//whvet:allow

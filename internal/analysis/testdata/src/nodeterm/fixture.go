@@ -1,0 +1,27 @@
+// Package fixture seeds one violation of each nodeterm rule.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want nodeterm:"wall clock: time.Now"
+	return time.Since(start) // want nodeterm:"wall clock: time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want nodeterm:"math/rand: rand.Intn"
+}
+
+func ambientEnv() string {
+	return os.Getenv("SEED") // want nodeterm:"environment: os.Getenv"
+}
+
+func handRolledMix(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15           // want nodeterm:"raw seed mixing"
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9 // want nodeterm:"raw seed mixing"
+	return z
+}

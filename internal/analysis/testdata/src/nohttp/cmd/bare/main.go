@@ -1,0 +1,7 @@
+// Command bare links net/http without opting in; entry points are
+// flagged too, they are just allowed to carry a directive.
+package main
+
+import "net/http" // want nohttp:"links in through import"
+
+func main() { _ = http.MethodGet }

@@ -1,0 +1,10 @@
+// Command optin is an entry point that opts into the HTTP stack with
+// a reasoned directive, the sanctioned way to serve live endpoints.
+package main
+
+import (
+	//whvet:allow nohttp fixture: this binary serves a live endpoint and accepts the link cost
+	"net/http"
+)
+
+func main() { _ = http.MethodGet }

@@ -1,0 +1,12 @@
+// Package lib imports net/http outside the sanctioned introspect
+// package and outside any entry point: the finding is unsuppressible,
+// so the allow directive below must not silence it.
+package lib
+
+import (
+	//whvet:allow nohttp fixture: directives must not work outside entry points
+	"net/http" // want nohttp:"links in through import"
+)
+
+// Probe exists so the import is used.
+func Probe() string { return http.MethodGet }

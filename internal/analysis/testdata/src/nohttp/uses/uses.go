@@ -1,0 +1,8 @@
+// Package uses links net/http transitively through lib; the boundary
+// tracks the whole dependency closure, not just direct imports.
+package uses
+
+import "warehousesim/internal/analysis/testdata/src/nohttp/lib" // want nohttp:"links in through import"
+
+// Method exists so the import is used.
+func Method() string { return lib.Probe() }

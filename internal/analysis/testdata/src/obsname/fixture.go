@@ -1,0 +1,40 @@
+// Package fixture exercises the metric-name scheme against a local
+// obs.Recorder implementation (obsname resolves the interface from the
+// real internal/obs package, so implementing it here is the same as
+// implementing it in a model package).
+package fixture
+
+import "warehousesim/internal/obs"
+
+type rec struct{}
+
+func (rec) Enabled() bool                                       { return true }
+func (rec) Count(name string, delta int64)                      {}
+func (rec) Gauge(name string, t, v float64)                     {}
+func (rec) Observe(name string, v float64)                      {}
+func (rec) Event(stream string, t float64, fields ...obs.Field) {}
+
+const stream = "span"
+
+func emit(r rec, resource string, t float64) {
+	r.Count("trial.completed", 1)
+	r.Count("membalde.hits", 1)   // want obsname:"unregistered domain"
+	r.Count("fresh_bare", 1)      // want obsname:"bare names are closed"
+	r.Count("Trial.Completed", 1) // want obsname:"lowercase"
+	r.Observe("latency_sec", t)
+	r.Gauge("util."+resource, t, 1)
+	r.Gauge("wattage."+resource, t, 1) // want obsname:"unregistered domain"
+	r.Gauge("util"+resource, t, 1)     // want obsname:"literal prefix"
+	r.Event(stream, t)
+	r.Event("request", t)
+}
+
+// notARecorder has the method names but not the interface: its calls
+// are out of scope.
+type notARecorder struct{}
+
+func (notARecorder) Count(name string, delta int64) {}
+
+func other(n notARecorder) {
+	n.Count("Whatever.Goes", 1)
+}

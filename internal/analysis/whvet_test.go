@@ -1,0 +1,74 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"warehousesim/internal/analysis"
+	"warehousesim/internal/analysis/analysistest"
+	"warehousesim/internal/analysis/checks"
+	"warehousesim/internal/analysis/hotpath"
+	"warehousesim/internal/analysis/maprange"
+	"warehousesim/internal/analysis/nodeterm"
+	"warehousesim/internal/analysis/nohttp"
+	"warehousesim/internal/analysis/obsname"
+)
+
+// Every fixture runs with the full KnownChecks registry, the way
+// cmd/whvet invokes the framework, so directives for checks outside
+// the analyzer under test stay valid.
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "nodeterm", []*analysis.Analyzer{nodeterm.Analyzer}, checks.Names())
+}
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "maprange", []*analysis.Analyzer{maprange.Analyzer}, checks.Names())
+}
+
+func TestNohttp(t *testing.T) {
+	// The fixture's entry points live under its own cmd/ tree; point
+	// the opt-in boundary there for the duration of the test.
+	defer func(old []string) { nohttp.EntryPrefixes = old }(nohttp.EntryPrefixes)
+	nohttp.EntryPrefixes = []string{"warehousesim/internal/analysis/testdata/src/nohttp/cmd/"}
+	analysistest.Run(t, "nohttp", []*analysis.Analyzer{nohttp.Analyzer}, checks.Names())
+}
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "hotpath", []*analysis.Analyzer{hotpath.Analyzer}, checks.Names())
+}
+
+func TestObsname(t *testing.T) {
+	analysistest.Run(t, "obsname", []*analysis.Analyzer{obsname.Analyzer}, checks.Names())
+}
+
+// TestFindingJSONShape pins the field names of the -json schema
+// (warehousesim-whvet/v1): downstream tooling greps these keys the
+// same way it greps whcost -json.
+func TestFindingJSONShape(t *testing.T) {
+	b, err := json.Marshal(analysis.Finding{
+		File: "a.go", Line: 3, Col: 7, Check: "nodeterm", Message: "m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a.go","line":3,"col":7,"check":"nodeterm","message":"m"}`
+	if string(b) != want {
+		t.Fatalf("Finding JSON = %s, want %s", b, want)
+	}
+}
+
+// TestRegistryNames pins the registry: adding or renaming a check is a
+// reviewed act (directive grammar and CI docs name them).
+func TestRegistryNames(t *testing.T) {
+	got := checks.Names()
+	want := []string{"nodeterm", "maprange", "nohttp", "hotpath", "obsname"}
+	if len(got) != len(want) {
+		t.Fatalf("registry = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry = %v, want %v", got, want)
+		}
+	}
+}

@@ -195,14 +195,11 @@ func (t ShardedTopology) PlacementOf() []int {
 
 // rackSeed derives one entity-scoped RNG seed from the run seed. Pure
 // function of (root, ent, idx), so per-client streams are independent
-// of the partitioning and of setup iteration order.
+// of the partitioning and of setup iteration order. The mixing lives
+// in stats.EntitySeed (bit-identical to the splitmix64 finalization
+// this function used to inline), so the constants stay in one place.
 func rackSeed(root uint64, ent, idx int) uint64 {
-	z := root + 0x9e3779b97f4a7c15*uint64(ent+1) + 0xbf58476d1ce4e5b9*uint64(idx+1)
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return stats.EntitySeed(root, ent, idx)
 }
 
 // rackSim owns one rack run: the engine, the per-enclosure model state,

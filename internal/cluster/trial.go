@@ -62,16 +62,21 @@ func (f *reqFlow) init(srv *simServer, finish func(latency float64)) {
 
 // serve runs one request through cpu -> disk -> net; finish fires with
 // the total residence time.
+//
+//perf:hotpath
 func (f *reqFlow) serve(d Demands) {
 	f.d = d
 	f.start = f.srv.sim.Now()
 	f.srv.cpu.Submit(des.Time(d.CPUSec), f.cpuFn)
 }
 
+//perf:hotpath
 func (f *reqFlow) cpuDone() { f.srv.disk.Submit(des.Time(f.d.DiskSec), f.diskFn) }
 
+//perf:hotpath
 func (f *reqFlow) diskDone() { f.srv.net.Submit(des.Time(f.d.NetSec), f.netFn) }
 
+//perf:hotpath
 func (f *reqFlow) netDone() { f.finish(float64(f.srv.sim.Now() - f.start)) }
 
 // serveTraced mirrors serve exactly — same Submit calls, same delays,
@@ -84,6 +89,8 @@ func (f *reqFlow) netDone() { f.finish(float64(f.srv.sim.Now() - f.start)) }
 // memFrac > 0 carves the remote-memory share out of cpu service as a
 // nested swap span (the §3.4 slowdown is folded into CPUSec; the span
 // makes it attributable again).
+//
+//perf:hotpath
 func (f *reqFlow) serveTraced(d Demands, tr *span.Tracer, req int64, memFrac float64) {
 	f.d = d
 	f.tracer = tr
@@ -97,6 +104,8 @@ func (f *reqFlow) serveTraced(d Demands, tr *span.Tracer, req int64, memFrac flo
 
 // emitStage records the queue/service (and optional swap) spans of the
 // stage that just completed on r.
+//
+//perf:hotpath
 func (f *reqFlow) emitStage(r *des.Resource, svc, frac float64) {
 	end := float64(f.srv.sim.Now())
 	began := end - svc
@@ -107,18 +116,21 @@ func (f *reqFlow) emitStage(r *des.Resource, svc, frac float64) {
 	}
 }
 
+//perf:hotpath
 func (f *reqFlow) tracedCPUDone() {
 	f.emitStage(f.srv.cpu, f.d.CPUSec, f.memFrac)
 	f.submit = float64(f.srv.sim.Now())
 	f.srv.disk.Submit(des.Time(f.d.DiskSec), f.tdiskFn)
 }
 
+//perf:hotpath
 func (f *reqFlow) tracedDiskDone() {
 	f.emitStage(f.srv.disk, f.d.DiskSec, 0)
 	f.submit = float64(f.srv.sim.Now())
 	f.srv.net.Submit(des.Time(f.d.NetSec), f.tnetFn)
 }
 
+//perf:hotpath
 func (f *reqFlow) tracedNetDone() {
 	f.emitStage(f.srv.net, f.d.NetSec, 0)
 	f.tracer.End(f.root, float64(f.srv.sim.Now()))
@@ -146,6 +158,7 @@ func newClient(t *trialCtx) *client {
 	return c
 }
 
+//perf:hotpath
 func (c *client) next() {
 	t := c.t
 	if t.think.Mean > 0 {
@@ -155,6 +168,7 @@ func (c *client) next() {
 	}
 }
 
+//perf:hotpath
 func (c *client) issue() {
 	t := c.t
 	req := t.gen.Sample(&c.rng)
@@ -167,6 +181,7 @@ func (c *client) issue() {
 	t.arrivals++
 }
 
+//perf:hotpath
 func (c *client) finish(latency float64) {
 	t := c.t
 	if t.measuring {

@@ -17,7 +17,6 @@ import (
 
 	"warehousesim/internal/cluster"
 	"warehousesim/internal/obs"
-	"warehousesim/internal/obs/introspect"
 )
 
 // Profiles is the -cpuprofile/-memprofile pair.
@@ -90,7 +89,11 @@ func (p *Par) Value() (int, error) {
 	return *p.n, nil
 }
 
-// HTTP is the -http live-introspection flag.
+// HTTP is the -http live-introspection flag. It only parses the
+// address: starting the server is the main's job, via
+// introspect.ServeAddr(h.Addr()), so that net/http links only into the
+// binaries that opt in (the nohttp boundary, DESIGN.md §11) rather
+// than into everything that imports cliflags.
 type HTTP struct {
 	addr *string
 }
@@ -103,20 +106,9 @@ func AddHTTP(fs *flag.FlagSet, snapshot string) *HTTP {
 		"serve live introspection ("+snapshot+", /debug/pprof) on this address, e.g. :6060")}
 }
 
-// Serve starts the introspection server when -http was given; it
-// returns (nil, "", nil) otherwise. The server runs for the process
-// lifetime; bound is the resolved listen address for logging.
-func (h *HTTP) Serve() (srv *introspect.Server, bound string, err error) {
-	if *h.addr == "" {
-		return nil, "", nil
-	}
-	srv = introspect.New()
-	bound, _, err = srv.Serve(*h.addr)
-	if err != nil {
-		return nil, "", err
-	}
-	return srv, bound, nil
-}
+// Addr returns the parsed -http address ("" when unset). Pass it to
+// introspect.ServeAddr from the main.
+func (h *HTTP) Addr() string { return *h.addr }
 
 // Sharding is the rack-topology flag group: -shards selects the sharded
 // multi-enclosure model (0 keeps the flat single-server model), with

@@ -118,6 +118,8 @@ func (s *Sim) Fired() uint64 { return s.fired }
 // recycle returns an event record to the free list. The action is
 // dropped so the pool never retains model closures, and the generation
 // is bumped so outstanding handles to the old event become inert.
+//
+//perf:hotpath
 func (s *Sim) recycle(ev *event) {
 	ev.act = nil
 	ev.heap = -1
@@ -128,16 +130,22 @@ func (s *Sim) recycle(ev *event) {
 // Schedule runs act after delay (>= 0) of simulated time and returns a
 // handle for cancellation. It panics on negative or NaN delays: those are
 // always model bugs and silently clamping them corrupts results.
+//
+//perf:hotpath
 func (s *Sim) Schedule(delay Time, act Action) EventHandle {
 	if delay < 0 || math.IsNaN(float64(delay)) {
+		//whvet:allow hotpath cold panic path: a negative delay is a model bug, the guard never fires in a correct run
 		panic(fmt.Sprintf("des: negative or NaN delay %v at t=%v", delay, s.now))
 	}
 	return s.ScheduleAt(s.now+delay, act)
 }
 
 // ScheduleAt runs act at absolute time at (>= Now).
+//
+//perf:hotpath
 func (s *Sim) ScheduleAt(at Time, act Action) EventHandle {
 	if at < s.now {
+		//whvet:allow hotpath cold panic path: scheduling into the past is a model bug, the guard never fires in a correct run
 		panic(fmt.Sprintf("des: event scheduled in the past: %v < now %v", at, s.now))
 	}
 	var ev *event
@@ -160,6 +168,8 @@ func (s *Sim) Stop() { s.stopped = true }
 // Run executes events until the queue empties, until Stop is called, or
 // until simulated time would pass until. It returns the simulation time
 // at exit. Events scheduled exactly at the horizon still fire.
+//
+//perf:hotpath
 func (s *Sim) Run(until Time) Time {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
@@ -203,6 +213,8 @@ func (s *Sim) PeekNext() (at Time, ok bool) {
 // interleave event execution with message delivery at event
 // granularity; firing order and the seq tie-break stream are identical
 // to Run.
+//
+//perf:hotpath
 func (s *Sim) RunNext() bool {
 	if len(s.events) == 0 {
 		return false

@@ -763,16 +763,21 @@ func (s *Shard) Now() des.Time { return s.Sim.Now() }
 // conservative windows safe — and src must be owned by this shard.
 // Same-time deliveries are ordered by (src, per-src seq), which is
 // independent of the partitioning.
+//
+//perf:hotpath
 func (s *Shard) Post(src, dst EntityID, delay des.Time, act des.Action) {
 	e := s.eng
 	if int(src) < 0 || int(src) >= len(e.owner) || int(dst) < 0 || int(dst) >= len(e.owner) {
+		//whvet:allow hotpath cold panic path: out-of-namespace entities are a wiring bug
 		panic(fmt.Sprintf("shard: Post %d->%d outside entity namespace [0,%d)", src, dst, len(e.owner)))
 	}
 	if e.owner[src] != int32(s.id) {
+		//whvet:allow hotpath cold panic path: posting from a foreign entity is a wiring bug
 		panic(fmt.Sprintf("shard: Post from entity %d owned by shard %d, not %d", src, e.owner[src], s.id))
 	}
 	dst32 := e.owner[dst]
 	if floor := e.raw[s.id][dst32]; math.IsNaN(float64(delay)) || delay < floor {
+		//whvet:allow hotpath cold panic path: a sub-lookahead delay breaks the conservative-window proof, so it must die loudly
 		panic(fmt.Sprintf("shard: cross-entity delay %v below lookahead %v for shard pair (%d,%d) at t=%v", delay, floor, s.id, dst32, s.Sim.Now()))
 	}
 	m := message{arrive: s.Sim.Now() + delay, src: src, seq: e.seqs[src], act: act}
@@ -902,6 +907,8 @@ func (s *Shard) computeRow() {
 // mailbox holds at most one in-flight batch per round). A shard whose
 // horizon window is already done keeps relaying null messages until
 // the exit is global.
+//
+//whvet:allow nodeterm the wall-clock reads feed ShardDiag's busy/blocked telemetry only; simulated time and all results come from the event heap (see DESIGN.md §7)
 func (s *Shard) run(until des.Time) {
 	n := len(s.eng.shards)
 	// Two wall-clock reads per round split the loop into a blocked
@@ -1044,6 +1051,8 @@ func (s *Shard) run(until des.Time) {
 // then clears and returns the slabs to their senders' free channels.
 // The old pending array becomes the next round's merge buffer, so
 // steady-state rounds allocate nothing.
+//
+//perf:hotpath
 func (s *Shard) mergeRuns() {
 	if len(s.runs) == 0 {
 		return
@@ -1099,6 +1108,8 @@ func (s *Shard) mergeRuns() {
 // advance loop with the same delivery rule, which is exactly the
 // single-heap kernel. There are no rounds to time, so live counters
 // update once, at completion (all busy, nothing blocked).
+//
+//whvet:allow nodeterm wall clock feeds the busy-nanoseconds diagnostic only; no simulation state reads it
 func (s *Shard) runSingle(until des.Time) {
 	start := time.Now()
 	s.advance(until, true)
@@ -1125,6 +1136,8 @@ func (s *Shard) nextArrival() (des.Time, bool) {
 // window edge may still gain same-time company from the next round),
 // the final window is inclusive to match des.Sim.Run horizon
 // semantics.
+//
+//perf:hotpath
 func (s *Shard) advance(target des.Time, final bool) {
 	stopCheck := 0
 	for {
@@ -1155,6 +1168,8 @@ func (s *Shard) advance(target des.Time, final bool) {
 // kernel. All possible senders for time t have already executed (their
 // events ran at least a lookahead floor earlier), so the batch is
 // complete and canonically ordered at any shard count.
+//
+//perf:hotpath
 func (s *Shard) deliverAt(t des.Time) {
 	for {
 		hasP := s.pendHead < len(s.pending) && s.pending[s.pendHead].arrive == t

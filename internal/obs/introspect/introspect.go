@@ -157,3 +157,21 @@ func (in *Server) Serve(addr string) (bound string, stop func() error, err error
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }
+
+// ServeAddr is the entry-point convenience for an optional -http flag:
+// it returns (nil, "", nil) when addr is empty, otherwise a new Server
+// already listening on addr for the process lifetime. Keeping this
+// here — rather than in cliflags — keeps net/http out of the flag
+// package's import graph, so only mains that opt in link the HTTP
+// stack (see DESIGN.md §11, nohttp).
+func ServeAddr(addr string) (*Server, string, error) {
+	if addr == "" {
+		return nil, "", nil
+	}
+	srv := New()
+	bound, _, err := srv.Serve(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}

@@ -61,6 +61,7 @@ func (s *Sink) MergeFrom(parts ...*Sink) {
 		for name, v := range p.counters {
 			s.counters[name] += v
 		}
+		//whvet:allow maprange Hist.Merge is bucket-wise addition, so per-key merge order cannot reach the result; the local dst just caches the lazily created entry
 		for name, h := range p.hists {
 			dst := s.hists[name]
 			if dst == nil {
