@@ -23,6 +23,9 @@
 #   make energy-diff — the energy-telemetry equivalence gate: -energy-out
 #                     must be byte-identical (whole file) across shard and
 #                     par counts
+#   make fleet-diff — the fleet-hybrid equivalence gate: a whsim fleet
+#                     run's -obs-out body must be byte-identical across
+#                     shard counts, worker counts, and hot-set orderings
 #   make introspect-smoke — start whsim -http, assert /obs/windows,
 #                     /obs/shards and /obs/energy serve their schemas
 #   make cover      — per-package coverage, with an 80% floor on
@@ -37,9 +40,9 @@ BENCH_NEW ?= BENCH_5.json
 # machine had fewer than 4 CPUs or GOMAXPROCS).
 EFF_FLOOR ?= 0.4
 
-.PHONY: check vet lint build test test-race fmt bench bench-json bench-diff shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke cover
+.PHONY: check vet lint build test test-race fmt bench bench-json bench-diff shard-diff shard-race speedup-smoke slo-diff energy-diff fleet-diff introspect-smoke cover
 
-check: vet lint build test-race fmt shard-diff shard-race speedup-smoke slo-diff energy-diff introspect-smoke
+check: vet lint build test-race fmt shard-diff shard-race speedup-smoke slo-diff energy-diff fleet-diff introspect-smoke
 
 vet:
 	$(GO) vet ./...
@@ -151,6 +154,33 @@ energy-diff:
 		echo "energy-diff: par=4 export DIVERGED from par=1:"; \
 		cmp "$$tmp/en-p1.jsonl" "$$tmp/en-p4.jsonl"; ok=0; }; \
 	[ $$ok -eq 1 ] && echo "energy-diff: -energy-out byte-identical across shards 1/2/4 and par 1/4" || exit 1
+
+# Fleet-hybrid equivalence: a fleet run (hot racks on the sharded DES,
+# cold racks on the analytic stand-in) must export the same
+# observability record at every shard count, every worker count, and
+# every ordering of the same hot set. The manifest (line 1) records the
+# configured shape, so the gate compares export bodies byte-for-byte.
+fleet-diff:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/whsim" ./cmd/whsim && \
+	base="-system emb1 -workload websearch -des -measure 10 \
+		-racks 12 -enclosures 4 -boards 2"; \
+	"$$tmp/whsim" $$base -hot-set 3,9 -shards 2 \
+		-obs-out "$$tmp/a.jsonl" >/dev/null && \
+	"$$tmp/whsim" $$base -hot-set 9,3 -shards 2 \
+		-obs-out "$$tmp/b.jsonl" >/dev/null && \
+	"$$tmp/whsim" $$base -hot-set 3,9 -shards 1 \
+		-obs-out "$$tmp/c.jsonl" >/dev/null && \
+	"$$tmp/whsim" $$base -hot-set 3,9 -shards 4 -par 4 \
+		-obs-out "$$tmp/d.jsonl" >/dev/null && \
+	for f in a b c d; do tail -n +2 "$$tmp/$$f.jsonl" > "$$tmp/$$f.body"; done && \
+	ok=1; \
+	for f in b c d; do \
+		cmp -s "$$tmp/a.body" "$$tmp/$$f.body" || { \
+			echo "fleet-diff: $$f.jsonl body DIVERGED from a.jsonl:"; \
+			cmp "$$tmp/a.body" "$$tmp/$$f.body"; ok=0; }; \
+	done; \
+	[ $$ok -eq 1 ] && echo "fleet-diff: fleet exports byte-identical across hot-set order, shards 1/2/4, par 4" || exit 1
 
 # Introspection smoke: start whsim with the live endpoints on an
 # ephemeral port, poll /obs/windows, /obs/shards and /obs/energy until

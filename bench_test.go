@@ -28,10 +28,11 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Run(id)
+		reps, err := experiments.Execute(experiments.RunSpec{IDs: []string{id}})
 		if err != nil {
 			b.Fatal(err)
 		}
+		rep := reps[0]
 		if len(rep.Lines) == 0 {
 			b.Fatalf("%s produced an empty report", id)
 		}
@@ -204,3 +205,5 @@ func BenchmarkExtAvailability(b *testing.B) { benchExperiment(b, "ext-availabili
 func BenchmarkExtDatacenter(b *testing.B) { benchExperiment(b, "ext-datacenter") }
 
 func BenchmarkExtCritpath(b *testing.B) { benchExperiment(b, "ext-critpath") }
+
+func BenchmarkExtFleet(b *testing.B) { benchExperiment(b, "ext-fleet") }

@@ -40,9 +40,14 @@ func main() {
 		"worker goroutines for the experiment suite and its internal sweeps (1 = sequential; reports are identical at any value)")
 	httpFlag := cliflags.AddHTTP(flag.CommandLine, "/obs snapshot with per-experiment progress")
 	seed := flag.Uint64("seed", 1, "simulation seed for -bench-json")
+	sharding := cliflags.AddSharding(flag.CommandLine)
+	fleet := cliflags.AddFleet(flag.CommandLine, sharding)
 	profiles := cliflags.AddProfiles(flag.CommandLine)
 	flag.Parse()
 
+	if err := cliflags.Validate(sharding, fleet); err != nil {
+		log.Fatal(err)
+	}
 	obsOn := obsFlags.Enabled()
 	par, err := parFlag.Value()
 	if err != nil {
@@ -115,6 +120,9 @@ func main() {
 	spec := experiments.RunSpec{Parallelism: par}
 	if sink != nil {
 		spec.Recorder = sink
+	}
+	if ft := fleet.Topology(); ft != nil {
+		spec.Fleet = ft
 	}
 	runID := "all"
 	if *exp != "" {

@@ -69,16 +69,32 @@ func liveShardStats(live cluster.LiveHandles) []shard.LiveStats {
 // (PlacementOf) — the manifest alone reproduces it.
 func placementInfo(opt cluster.SimOptions) (strategy, assignment string) {
 	n, err := opt.Normalize()
-	if err != nil || n.Topology == nil {
+	if err != nil {
 		return "", ""
 	}
-	t := n.Topology
+	t := rackTopoOf(n.Topology)
+	if t == nil {
+		return "", ""
+	}
 	asn := t.PlacementOf()
 	parts := make([]string, len(asn))
 	for e, s := range asn {
 		parts[e] = strconv.Itoa(s)
 	}
 	return t.Placement, strings.Join(parts, ",")
+}
+
+// rackTopoOf returns the per-rack topology behind a Topology value: the
+// rack itself, or a fleet's rack template (which every rack in the
+// fleet instantiates). Nil for the flat model.
+func rackTopoOf(t cluster.Topology) *cluster.ShardedTopology {
+	switch v := t.(type) {
+	case *cluster.ShardedTopology:
+		return v
+	case *cluster.FleetTopology:
+		return &v.Rack
+	}
+	return nil
 }
 
 // boardList renders a heterogeneous rack's per-enclosure board counts
@@ -127,6 +143,7 @@ func main() {
 	attrOut := flag.String("attr-out", "", "write the critical-path latency-attribution table as CSV here (implies -obs)")
 	traceEvery := flag.Int64("trace-every", 1, "span-sample every Nth request by arrival index (deterministic; 1 = all)")
 	sharding := cliflags.AddSharding(flag.CommandLine)
+	fleet := cliflags.AddFleet(flag.CommandLine, sharding)
 	sloFlags := cliflags.AddSLO(flag.CommandLine)
 	energyFlags := cliflags.AddEnergy(flag.CommandLine)
 	httpFlag := cliflags.AddHTTP(flag.CommandLine, "/obs snapshot")
@@ -134,7 +151,7 @@ func main() {
 	flag.Parse()
 
 	// Flag validation: fail on nonsense, warn on silently-dead flags.
-	if err := cliflags.Validate(sharding, sloFlags, energyFlags); err != nil {
+	if err := cliflags.Validate(sharding, fleet, sloFlags, energyFlags); err != nil {
 		log.Fatal(err)
 	}
 	if *measure <= 0 {
@@ -158,7 +175,8 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "seed", "measure", "probe-interval", "trace-every", "par",
-				"shards", "enclosures", "boards", "clients-per-board", "shard-diag":
+				"shards", "enclosures", "boards", "clients-per-board", "shard-diag",
+				"racks", "hot-racks", "hot-set", "balancer":
 				log.Printf("warning: -%s has no effect without -des", f.Name)
 			}
 		})
@@ -185,13 +203,14 @@ func main() {
 			}
 		})
 	}
-	if !sharding.Enabled() {
+	if !sharding.Enabled() && !fleet.Enabled() {
 		// -shard-diag without -shards is an error (cliflags.Validate above);
-		// the sizing flags merely default and only warrant a warning.
+		// the sizing flags merely default and only warrant a warning. With
+		// -racks they size the fleet's per-rack template instead.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "enclosures", "boards", "clients-per-board":
-				log.Printf("warning: -%s has no effect without -shards", f.Name)
+				log.Printf("warning: -%s has no effect without -shards or -racks", f.Name)
 			}
 		})
 	}
@@ -252,7 +271,14 @@ func main() {
 		opts.MeasureSec = *measure
 		opts.ProbeIntervalSec = *probeInterval
 		opts.Parallelism = par
-		opts.Topology = sharding.Topology()
+		// Assign through concrete pointers: storing a typed-nil
+		// *ShardedTopology in the Topology interface would defeat the nil
+		// check in Simulate (see SimOptions.Topology).
+		if ft := fleet.Topology(); ft != nil {
+			opts.Topology = ft
+		} else if t := sharding.Topology(); t != nil {
+			opts.Topology = t
+		}
 		var diagSink *obs.Sink
 		if sharding.DiagOut() != "" && opts.Topology != nil {
 			diagSink = obs.NewSink()
@@ -340,6 +366,13 @@ func main() {
 		fmt.Printf("  bottleneck %s; utilization cpu %.0f%% disk %.0f%% net %.0f%%\n",
 			res.Bottleneck, res.Utilization["cpu"]*100,
 			res.Utilization["disk"]*100, res.Utilization["net"]*100)
+		if fb := res.Fleet; fb != nil {
+			fmt.Printf("  fleet: %d racks (%d hot DES, %d analytic), balancer %s, %.4g rps/rack demand\n",
+				fb.Racks, len(fb.HotIDs), fb.Racks-len(fb.HotIDs), fb.Balancer, fb.PerRackDemand)
+			if fb.ColdUnserved > 0 {
+				fmt.Printf("  fleet: %.4g rps demand unserved (cold racks at capacity)\n", fb.ColdUnserved)
+			}
+		}
 
 		if res.SLO != nil {
 			ws := res.SLO.Windows()
@@ -380,7 +413,9 @@ func main() {
 
 		if diagSink != nil {
 			dman := obs.NewManifest(p.Name, d.Name, *seed)
-			dman.Config["shards"] = strconv.Itoa(opts.Topology.Shards)
+			if rt := rackTopoOf(opts.Topology); rt != nil {
+				dman.Config["shards"] = strconv.Itoa(rt.Shards)
+			}
 			strategy, assignment := placementInfo(opts)
 			dman.Config["placement"] = strategy
 			dman.Config["placement_assignment"] = assignment
@@ -402,7 +437,19 @@ func main() {
 			if opts.TraceEvery > 0 {
 				man.Config["trace_every"] = strconv.FormatInt(opts.TraceEvery, 10)
 			}
-			if t := opts.Topology; t != nil {
+			// Fleet fields come from the normalized topology so the manifest
+			// records the resolved hot set and balancer, not "" defaults.
+			if nopts, err := opts.Normalize(); err == nil {
+				if ft, ok := nopts.Topology.(*cluster.FleetTopology); ok {
+					man.Config["racks"] = strconv.Itoa(ft.Racks)
+					man.Config["hot_racks"] = strconv.Itoa(ft.HotRacks)
+					if hs := boardList(ft.HotSet); hs != "" {
+						man.Config["hot_set"] = hs
+					}
+					man.Config["balancer"] = ft.Balancer
+				}
+			}
+			if t := rackTopoOf(opts.Topology); t != nil {
 				man.Config["shards"] = strconv.Itoa(t.Shards)
 				man.Config["enclosures"] = strconv.Itoa(t.Enclosures)
 				if bl := boardList(t.Boards); bl != "" {

@@ -6,16 +6,16 @@ import (
 	"strings"
 	"sync"
 
+	"warehousesim/internal/cluster"
 	"warehousesim/internal/obs"
 )
 
 // RunSpec describes one experiments invocation: which experiments to
 // run, where to record registry-level observability, how many suite
 // workers to fan across, and what to call as results commit. The zero
-// value runs the whole registry sequentially with no recording — every
-// legacy call shape (Run, RunWith, RunAll, RunAllWith, RunAllPar) is a
-// point in this space, and those functions are now thin deprecated
-// wrappers over Execute.
+// value runs the whole registry sequentially with no recording; it is
+// the only entry point — the legacy Run/RunAll wrapper family was
+// removed in favor of spelling the point in this space directly.
 type RunSpec struct {
 	// IDs selects experiments by registry id, in the order given; an
 	// unknown id fails the whole call before anything runs. Empty means
@@ -32,7 +32,17 @@ type RunSpec struct {
 	Parallelism int
 	// Progress, when non-nil, is called after each experiment commits.
 	Progress func(SuiteProgress)
+	// Fleet, when non-nil, overrides the fleet shape the ext-fleet
+	// experiment sweeps (whbench wires the -racks/-hot-racks/-balancer
+	// flags through here). Experiments other than ext-fleet ignore it.
+	Fleet *cluster.FleetTopology
 }
+
+// fleetOverride is the RunSpec.Fleet value of the Execute call in
+// flight, consumed by the ext-fleet experiment (fleet.go). Execute
+// resets it after its workers drain, so it is never read concurrently
+// with a write.
+var fleetOverride *cluster.FleetTopology
 
 // Execute runs the experiments selected by spec and returns their
 // reports in selection order. An error from the experiment at selection
@@ -43,6 +53,12 @@ func Execute(spec RunSpec) ([]Report, error) {
 	entries, err := selectEntries(spec.IDs)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Fleet != nil {
+		fleetOverride = spec.Fleet
+		// executeEntries waits for its speculative workers before
+		// returning, so the reset cannot race a reader.
+		defer func() { fleetOverride = nil }()
 	}
 	return executeEntries(entries, spec.Recorder, spec.Parallelism, spec.Progress)
 }

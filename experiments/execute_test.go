@@ -9,13 +9,22 @@ import (
 	"warehousesim/internal/obs"
 )
 
-// TestExecuteMatchesLegacy: every legacy call shape must be a pure
-// restriction of Execute — same reports, same recorded bytes, same
-// progress sequence.
-func TestExecuteMatchesLegacy(t *testing.T) {
+// TestExecuteShapeConsistency: every restriction of the spec space is
+// consistent with the zero-value full run — a single-id selection
+// returns exactly that experiment's report from the full run, and a
+// recorded parallel run matches an unrecorded sequential one report for
+// report.
+func TestExecuteShapeConsistency(t *testing.T) {
 	withStubRegistry(t, stubEntries(6, -1))
 
-	legacy := runSuite(t, 4) // RunAllPar(sink, 4, progress)
+	zero, err := Execute(RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero) != 6 {
+		t.Fatalf("zero spec ran %d experiments, want 6", len(zero))
+	}
+
 	sink := obs.NewSink()
 	var prog []SuiteProgress
 	reps, err := Execute(RunSpec{Recorder: sink, Parallelism: 4,
@@ -27,33 +36,19 @@ func TestExecuteMatchesLegacy(t *testing.T) {
 	if err := sink.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(reps, legacy.reps) || !bytes.Equal(buf.Bytes(), legacy.export) ||
-		!reflect.DeepEqual(prog, legacy.progress) {
-		t.Fatal("Execute(full spec) differs from RunAllPar")
+	if !reflect.DeepEqual(reps, zero) {
+		t.Fatal("recorded parallel run reports differ from zero-spec run")
+	}
+	if len(prog) != 6 || buf.Len() == 0 {
+		t.Fatalf("full spec recorded %d progress calls and %d export bytes", len(prog), buf.Len())
 	}
 
-	one, err := RunWith("stub03", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
 	sel, err := Execute(RunSpec{IDs: []string{"stub03"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 1 || !reflect.DeepEqual(sel[0], one) {
-		t.Fatalf("Execute single-id selection %+v != RunWith %+v", sel, one)
-	}
-
-	all, err := RunAll()
-	if err != nil {
-		t.Fatal(err)
-	}
-	zero, err := Execute(RunSpec{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(all, zero) {
-		t.Fatal("Execute zero spec differs from RunAll")
+	if len(sel) != 1 || !reflect.DeepEqual(sel[0], zero[3]) {
+		t.Fatalf("Execute single-id selection %+v != full-run report %+v", sel, zero[3])
 	}
 }
 

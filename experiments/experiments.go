@@ -74,38 +74,6 @@ func Titles() map[string]string {
 	return out
 }
 
-// Run executes the experiment with the given id.
-//
-// Deprecated: use Execute(RunSpec{IDs: []string{id}}).
-func Run(id string) (Report, error) { return RunWith(id, nil) }
-
-// RunWith executes the experiment with the given id under registry-level
-// observability: rec (may be nil) receives an "experiment" event and
-// counters per run, so whbench -obs can attribute suite time and report
-// size to individual experiments.
-//
-// Deprecated: use Execute(RunSpec{IDs: []string{id}, Recorder: rec}).
-func RunWith(id string, rec obs.Recorder) (Report, error) {
-	reps, err := Execute(RunSpec{IDs: []string{id}, Recorder: rec})
-	if err != nil {
-		return Report{}, err
-	}
-	return reps[0], nil
-}
-
-// RunAll executes every registered experiment in order.
-//
-// Deprecated: use Execute(RunSpec{}).
-func RunAll() ([]Report, error) { return Execute(RunSpec{}) }
-
-// RunAllWith executes every registered experiment in order, recording
-// registry-level observability into rec (may be nil).
-//
-// Deprecated: use Execute(RunSpec{Recorder: rec}).
-func RunAllWith(rec obs.Recorder) ([]Report, error) {
-	return Execute(RunSpec{Recorder: rec})
-}
-
 // recordEntry records one finished experiment's registry-level
 // observability. The event's time axis is the registry order, which is
 // stable across builds — and, in parallel suite runs, the commit order,

@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-activity", "abl-tariff", "abl-policy", "abl-cbf", "abl-flash", "abl-cooling",
 		"ext-memtech", "ext-flashdisk", "ext-scaleout", "ext-diurnal", "ext-hybrid",
 		"abl-querycache", "abl-locality", "ext-ensemble", "abl-realestate", "validate", "abl-coolingcredit", "ext-powerprov", "ext-fabric", "ext-availability", "ext-datacenter",
+		"ext-fleet",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
@@ -32,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope"); err == nil {
+	if _, err := Execute(RunSpec{IDs: []string{"nope"}}); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -50,10 +51,11 @@ func TestExperimentDeterminism(t *testing.T) {
 
 func mustRun(t *testing.T, id string) Report {
 	t.Helper()
-	rep, err := Run(id)
+	reps, err := Execute(RunSpec{IDs: []string{id}})
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
+	rep := reps[0]
 	if rep.ID != id || len(rep.Lines) == 0 {
 		t.Fatalf("%s: empty report %+v", id, rep)
 	}

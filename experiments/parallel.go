@@ -1,18 +1,14 @@
 package experiments
 
-import (
-	"sync"
-
-	"warehousesim/internal/obs"
-)
+import "sync"
 
 // This file is the deterministic parallel sweep engine. Two levels of
 // parallelism compose:
 //
-//   - RunAllPar fans whole experiments across a worker pool and commits
-//     their results — reports, registry-level observability, progress
-//     callbacks — strictly in registry order.
-//   - RunCells fans the independent (design x profile x trial) cells
+//   - Execute (execute.go) fans whole experiments across a worker pool
+//     and commits their results — reports, registry-level observability,
+//     progress callbacks — strictly in registry order.
+//   - runCells fans the independent (design x profile x trial) cells
 //     INSIDE an experiment (see validate.go) across a pool, with results
 //     written to caller-indexed slots and merged in cell order.
 //
@@ -24,7 +20,7 @@ import (
 // every registered experiment already guarantees.
 
 // SweepParallelism is the worker count experiments use for their
-// internal cell sweeps (RunCells callers read it); 1 means sequential.
+// internal cell sweeps (runCells callers read it); 1 means sequential.
 // Set it once, before running experiments — it is read concurrently by
 // suite workers and must not change mid-run.
 var sweepParallelism = 1
@@ -40,13 +36,6 @@ func SetSweepParallelism(n int) {
 
 // SweepParallelism returns the current internal-sweep worker count.
 func SweepParallelism() int { return sweepParallelism }
-
-// RunCells executes n independent cells across min(par, n) workers.
-//
-// Deprecated: RunCells is an internal sweep mechanism, not a suite
-// entry point; experiments fan their own cells via runCells. It remains
-// exported only for compatibility and will be removed.
-func RunCells(par, n int, cell func(i int)) { runCells(par, n, cell) }
 
 // runCells executes n independent cells across min(par, n) workers and
 // returns when all have finished. Cells receive their index and must
@@ -89,14 +78,4 @@ type SuiteProgress struct {
 	// Done experiments out of Total have committed (Done = Index+1 as
 	// long as no experiment errored).
 	Done, Total int
-}
-
-// RunAllPar executes every registered experiment, fanning runs across
-// par workers (par <= 1 is fully sequential) while committing results
-// strictly in registry order.
-//
-// Deprecated: use Execute(RunSpec{Recorder: rec, Parallelism: par,
-// Progress: onDone}).
-func RunAllPar(rec obs.Recorder, par int, onDone func(SuiteProgress)) ([]Report, error) {
-	return Execute(RunSpec{Recorder: rec, Parallelism: par, Progress: onDone})
 }

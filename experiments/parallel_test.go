@@ -43,7 +43,8 @@ func stubEntries(n int, failAt int) []entry {
 	return out
 }
 
-// suiteRun captures everything observable from one RunAllPar call.
+// suiteRun captures everything observable from one full-registry
+// Execute call.
 type suiteRun struct {
 	reps     []Report
 	err      string
@@ -55,7 +56,8 @@ func runSuite(t *testing.T, par int) suiteRun {
 	t.Helper()
 	sink := obs.NewSink()
 	var prog []SuiteProgress
-	reps, err := RunAllPar(sink, par, func(p SuiteProgress) { prog = append(prog, p) })
+	reps, err := Execute(RunSpec{Recorder: sink, Parallelism: par,
+		Progress: func(p SuiteProgress) { prog = append(prog, p) }})
 	var buf bytes.Buffer
 	if werr := sink.WriteJSONL(&buf); werr != nil {
 		t.Fatal(werr)
@@ -67,9 +69,9 @@ func runSuite(t *testing.T, par int) suiteRun {
 	return s
 }
 
-// TestRunAllParMatchesSequential: reports, recorded observability, and
+// TestExecuteParMatchesSequential: reports, recorded observability, and
 // progress callbacks are byte-identical at any worker count.
-func TestRunAllParMatchesSequential(t *testing.T) {
+func TestExecuteParMatchesSequential(t *testing.T) {
 	withStubRegistry(t, stubEntries(9, -1))
 	seq := runSuite(t, 1)
 	if len(seq.reps) != 9 {
@@ -89,10 +91,11 @@ func TestRunAllParMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestRunAllParErrorEquivalence: an error at registry position i yields
-// the same error and the same recorded prefix at any worker count —
-// speculative results past the failure are discarded uncommitted.
-func TestRunAllParErrorEquivalence(t *testing.T) {
+// TestExecuteParErrorEquivalence: an error at registry position i
+// yields the same error and the same recorded prefix at any worker
+// count — speculative results past the failure are discarded
+// uncommitted.
+func TestExecuteParErrorEquivalence(t *testing.T) {
 	withStubRegistry(t, stubEntries(7, 3))
 	seq := runSuite(t, 1)
 	if seq.err == "" {
@@ -122,7 +125,7 @@ func TestRunCells(t *testing.T) {
 	for _, par := range []int{1, 3, 64} {
 		out := make([]int, n)
 		var calls atomic.Int64
-		RunCells(par, n, func(i int) {
+		runCells(par, n, func(i int) {
 			calls.Add(1)
 			out[i] = i * i
 		})

@@ -73,7 +73,7 @@ func runValidate() (Report, error) {
 		err  error
 	}
 	cells := make([]cellResult, len(profiles)*len(platforms))
-	RunCells(SweepParallelism(), len(cells), func(i int) {
+	runCells(SweepParallelism(), len(cells), func(i int) {
 		prof := profiles[i/len(platforms)]
 		if prof.Batch {
 			prof.JobRequests = 400 // keep DES runs short; ratio is scale-free

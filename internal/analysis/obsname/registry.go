@@ -19,6 +19,7 @@ var domains = map[string]bool{
 	"experiment":  true, // per-experiment event stream
 	"experiments": true, // experiments registry counters
 	"flashcache":  true, // flash-cache simulator
+	"fleet":       true, // fleet hybrid summary streams (internal/cluster/fleet.go)
 	"memblade":    true, // memory-blade simulator
 	"qlen":        true, // per-resource queue-length series (dynamic suffix)
 	"shard":       true, // shard-kernel ShardDiag telemetry

@@ -46,6 +46,9 @@ type Result struct {
 	// SLOParts.
 	Energy      *energy.Collector
 	EnergyParts []*energy.Collector
+	// Fleet carries the per-rack breakdown of a FleetTopology run (nil
+	// for single-rack and flat-model runs).
+	Fleet *FleetBreakdown
 }
 
 // bestEffortUtil is the utilization at which throughput is reported when
@@ -219,5 +222,71 @@ func (c Config) Analyze(p workload.Profile) (Result, error) {
 	res.MeanLatency = respAt(lambda)
 	res.P95Latency = res.MeanLatency * tail
 	res.Utilization = utilAt(lambda)
+	return res, nil
+}
+
+// AnalyzeAt evaluates the analytic model at a fixed per-server arrival
+// rate instead of solving for the operating point. The fleet hybrid uses
+// it to stand in for cold racks at the load the balancer actually routed
+// to them. Interactive profiles only: a batch rack is a single job, not
+// an arrival stream, so a fixed-rate evaluation has no meaning there.
+//
+// At or beyond the bottleneck capacity the station equations diverge, so
+// the result reports the saturated utilization profile with infinite
+// latencies and QoSMet false rather than an error: an overloaded cold
+// rack is an answer ("this placement violates QoS"), not a misuse.
+func (c Config) AnalyzeAt(p workload.Profile, lambda float64) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if p.Batch {
+		return Result{}, fmt.Errorf("cluster: AnalyzeAt models an arrival stream; batch profile %s has none", p.Name)
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return Result{}, fmt.Errorf("cluster: AnalyzeAt needs a non-negative arrival rate, got %v", lambda)
+	}
+	sts := c.stations(p)
+
+	capMin := math.Inf(1)
+	bottleneck := ""
+	for _, s := range sts {
+		if cap := s.capacity(); cap < capMin {
+			capMin = cap
+			bottleneck = s.name
+		}
+	}
+	if math.IsInf(capMin, 1) {
+		return Result{}, fmt.Errorf("cluster: workload %s has no demand on any station", p.Name)
+	}
+
+	res := Result{Bottleneck: bottleneck, Throughput: lambda, Perf: lambda}
+	res.Utilization = map[string]float64{}
+	for _, s := range sts {
+		res.Utilization[s.name] = lambda * s.service / float64(s.m)
+	}
+	tail := qosTailFactor(p.QoSPercentile)
+	if lambda >= capMin {
+		res.MeanLatency = math.Inf(1)
+		res.P95Latency = math.Inf(1)
+		res.QoSMet = false
+		return res, nil
+	}
+	sum := 0.0
+	for _, s := range sts {
+		sum += s.respTime(lambda)
+	}
+	res.MeanLatency = sum
+	res.P95Latency = sum * tail
+	if p.QoSLatencySec > 0 {
+		// The 1e-9 relative slack keeps a rack loaded exactly at the
+		// Analyze operating point (an 80-step bisection against this same
+		// bound) from flipping QoSMet over float ulps.
+		res.QoSMet = res.P95Latency <= p.QoSLatencySec*(1+1e-9)
+	} else {
+		res.QoSMet = true
+	}
 	return res, nil
 }

@@ -63,11 +63,16 @@ type SimOptions struct {
 	// live-introspection publish hook. It must only read.
 	OnProbeTick func(simNow float64)
 
-	// Topology, when non-nil, switches Simulate to the sharded rack
-	// model: a cluster of identical servers grouped into enclosures,
-	// partitioned across Topology.Shards event heaps (see rack.go and
-	// internal/des/shard). Nil runs the single-server flat model.
-	Topology *ShardedTopology
+	// Topology, when non-nil, switches Simulate from the flat
+	// single-server model to the implementation's own: *ShardedTopology
+	// runs one rack of enclosures on the sharded kernel (rack.go,
+	// internal/des/shard); *FleetTopology runs a fleet of racks — hot
+	// ones on full DES, cold ones on the analytic M/M/m stand-in —
+	// joined by a load-balancer tier (fleet.go). Store a concrete
+	// pointer directly; a typed-nil pointer in the interface would
+	// defeat the nil check, so helpers that may return "no topology"
+	// must return an untyped nil.
+	Topology Topology
 
 	// ShardDiag, when non-nil and enabled, receives the sharded
 	// engine's per-shard synchronization diagnostics after a Topology
@@ -134,9 +139,9 @@ func DefaultSimOptions() SimOptions {
 // Normalize validates the options and resolves every defaulted field to
 // its effective value: ProbeIntervalSec 0 becomes 1 s, Parallelism 0
 // becomes 1 (sequential), and a Topology gets its own defaults filled
-// in (see ShardedTopology.normalize). It returns the resolved copy —
-// the receiver is never mutated, and a non-nil Topology is replaced by
-// a normalized copy rather than written through.
+// in (see Topology.Normalize). It returns the resolved copy — the
+// receiver is never mutated, and a non-nil Topology is replaced by a
+// normalized clone rather than written through.
 //
 // Simulate calls Normalize on entry, so callers only need it when they
 // want the effective values themselves (a CLI echoing the resolved
@@ -172,11 +177,11 @@ func (o SimOptions) Normalize() (SimOptions, error) {
 		o.Parallelism = 1
 	}
 	if o.Topology != nil {
-		t, err := o.Topology.normalize()
-		if err != nil {
+		t := o.Topology.clone()
+		if err := t.Normalize(); err != nil {
 			return o, err
 		}
-		o.Topology = &t
+		o.Topology = t
 	}
 	return o, nil
 }
@@ -267,7 +272,7 @@ func (c Config) Simulate(gen workload.Generator, opt SimOptions) (Result, error)
 		return Result{}, err
 	}
 	if opt.Topology != nil {
-		return c.simulateRack(gen, p, opt)
+		return opt.Topology.simulate(c, gen, p, opt)
 	}
 	if p.Batch {
 		return c.simulateBatch(gen, p, opt)

@@ -106,8 +106,47 @@ const (
 	PlacementBalanced = "balanced"
 )
 
-// normalize fills defaults and validates; SimOptions.Normalize calls it
-// on a copy.
+// Normalize implements Topology: it validates the topology and fills
+// defaulted fields in place. SimOptions.Normalize calls it on a clone,
+// so callers' values are never written through.
+func (t *ShardedTopology) Normalize() error {
+	n, err := t.normalize()
+	if err != nil {
+		return err
+	}
+	*t = n
+	return nil
+}
+
+// clone implements Topology with a deep copy (Boards is the only
+// reference field).
+func (t *ShardedTopology) clone() Topology {
+	c := *t
+	c.Boards = append([]int(nil), t.Boards...)
+	return &c
+}
+
+// simulate implements Topology: it dispatches the rack model. The
+// generator must be stateless (clients on different shards sample it
+// concurrently), and recording requires a *obs.Sink because the rack
+// records into per-enclosure sinks folded after the run.
+func (t *ShardedTopology) simulate(c Config, gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	if !workload.IsStateless(gen) {
+		return Result{}, fmt.Errorf("cluster: the sharded rack model samples the generator concurrently across shards and needs workload.IsStateless; %T is stateful", gen)
+	}
+	if obs.On(opt.Obs) {
+		if _, ok := opt.Obs.(*obs.Sink); !ok {
+			return Result{}, fmt.Errorf("cluster: rack runs record into per-enclosure sinks folded after the run, so Obs must be a *obs.Sink, got %T", opt.Obs)
+		}
+	}
+	if p.Batch {
+		return c.rackBatch(t, gen, p, opt)
+	}
+	return c.rackInteractive(t, gen, p, opt)
+}
+
+// normalize fills defaults and validates; Normalize wraps it (the value
+// form keeps the original copy-in/copy-out shape).
 func (t ShardedTopology) normalize() (ShardedTopology, error) {
 	if t.Enclosures < 1 {
 		return t, fmt.Errorf("cluster: topology needs at least one enclosure, got %d", t.Enclosures)
@@ -593,8 +632,8 @@ func lookaheadMatrix(shards int, batch bool, laIntra, laSAN, laCross des.Time) [
 // sums), blades N..N+E-1, then the SAN and the aggregator. Enclosure e
 // lands on the shard the topology's placement assigns it; the SAN and
 // aggregator live on shard 0.
-func buildRack(c Config, gen workload.Generator, p workload.Profile, opt SimOptions, recording bool) (*rackSim, error) {
-	t := *opt.Topology
+func buildRack(c Config, topo *ShardedTopology, gen workload.Generator, p workload.Profile, opt SimOptions, recording bool) (*rackSim, error) {
+	t := *topo
 	nBoards := t.totalBoards()
 	nic := c.Server.NIC.BytesPerSec()
 	laIntra := des.Time(fabric.IntraEnclosureLatencySec(nic))
@@ -948,25 +987,8 @@ func (r *rackSim) finishObs(clients int) {
 	r.opt.Obs.(*obs.Sink).MergeFrom(parts...)
 }
 
-// simulateRack dispatches a Topology run. The generator must be
-// stateless: clients on different shards sample it concurrently.
-func (c Config) simulateRack(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
-	if !workload.IsStateless(gen) {
-		return Result{}, fmt.Errorf("cluster: the sharded rack model samples the generator concurrently across shards and needs workload.IsStateless; %T is stateful", gen)
-	}
-	if obs.On(opt.Obs) {
-		if _, ok := opt.Obs.(*obs.Sink); !ok {
-			return Result{}, fmt.Errorf("cluster: rack runs record into per-enclosure sinks folded after the run, so Obs must be a *obs.Sink, got %T", opt.Obs)
-		}
-	}
-	if p.Batch {
-		return c.rackBatch(gen, p, opt)
-	}
-	return c.rackInteractive(gen, p, opt)
-}
-
-func (c Config) rackInteractive(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
-	r, err := buildRack(c, gen, p, opt, obs.On(opt.Obs))
+func (c Config) rackInteractive(t *ShardedTopology, gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	r, err := buildRack(c, t, gen, p, opt, obs.On(opt.Obs))
 	if err != nil {
 		return Result{}, err
 	}
@@ -1011,8 +1033,8 @@ func (c Config) rackInteractive(gen workload.Generator, p workload.Profile, opt 
 // keep rescheduling forever against an open horizon), then an
 // instrumented replay to exactly that horizon — same seeds, identical
 // trajectory — so timelines cover the whole job.
-func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
-	r, err := buildRack(c, gen, p, opt, false)
+func (c Config) rackBatch(t *ShardedTopology, gen workload.Generator, p workload.Profile, opt SimOptions) (Result, error) {
+	r, err := buildRack(c, t, gen, p, opt, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -1028,7 +1050,7 @@ func (c Config) rackBatch(gen workload.Generator, p workload.Profile, opt SimOpt
 
 	measured := r
 	if obs.On(opt.Obs) {
-		r2, err := buildRack(c, gen, p, opt, true)
+		r2, err := buildRack(c, t, gen, p, opt, true)
 		if err != nil {
 			return Result{}, err
 		}

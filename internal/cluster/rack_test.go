@@ -170,10 +170,11 @@ func TestNormalizeDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n.Topology.Shards != 4 || n.Topology.ClientsPerBoard != 4 || n.Topology.SANDisks != 4 {
-		t.Fatalf("topology defaults not applied: %+v", *n.Topology)
+	nt := n.Topology.(*ShardedTopology)
+	if nt.Shards != 4 || nt.ClientsPerBoard != 4 || nt.SANDisks != 4 {
+		t.Fatalf("topology defaults not applied: %+v", *nt)
 	}
-	if o.Topology.Shards != 9 {
+	if o.Topology.(*ShardedTopology).Shards != 9 {
 		t.Fatal("Normalize mutated the caller's topology")
 	}
 }

@@ -1,6 +1,7 @@
 // Package cliflags centralizes the flag wiring the cmd/* mains share:
 // pprof profile capture, obs recording/export, worker parallelism, the
-// live-introspection HTTP endpoint, and the sharded-rack topology. Each
+// live-introspection HTTP endpoint, the sharded-rack topology, and the
+// hybrid fleet model. Each
 // Add* helper registers its flags on a caller-supplied FlagSet (the
 // mains pass flag.CommandLine) and returns a handle whose methods apply
 // the conventions that every tool previously re-implemented by hand —
@@ -186,6 +187,16 @@ func (s *Sharding) Topology() *cluster.ShardedTopology {
 	if !s.Enabled() {
 		return nil
 	}
+	t := s.RackTemplate()
+	return &t
+}
+
+// RackTemplate builds the rack topology value regardless of whether
+// -shards selected the rack model — the fleet group uses it as the
+// per-rack template, where the rack flags are sizing hints rather than
+// the model selector (a fleet run shards each hot rack with -shards,
+// defaulting to 1 when unset).
+func (s *Sharding) RackTemplate() cluster.ShardedTopology {
 	per, list, err := parseBoards(*s.boards)
 	if err != nil {
 		per, list = 0, nil // Validate reports the syntax error loudly
@@ -194,7 +205,7 @@ func (s *Sharding) Topology() *cluster.ShardedTopology {
 	if list != nil && !s.explicitlySet("enclosures") {
 		encl = len(list)
 	}
-	return &cluster.ShardedTopology{
+	return cluster.ShardedTopology{
 		Enclosures:         encl,
 		BoardsPerEnclosure: per,
 		Boards:             list,
@@ -220,6 +231,101 @@ func (s *Sharding) Validate() error {
 		return fmt.Errorf("-placement %s needs the sharded rack model: pass -shards N (the flat model has nothing to place)", *s.placement)
 	}
 	if _, _, err := parseBoards(*s.boards); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Fleet is the fleet-model flag group: -racks selects the hybrid
+// fleet model (0 keeps whatever -shards selected), -hot-racks/-hot-set
+// choose which racks run full DES, and -balancer picks the routing
+// policy. The rack flags (-enclosures/-boards/-clients-per-board/
+// -shards/-placement) size the per-rack template.
+type Fleet struct {
+	fs       *flag.FlagSet
+	racks    *int
+	hot      *int
+	hotSet   *string
+	balancer *string
+	sharding *Sharding
+}
+
+// AddFleet registers the fleet flags. sharding supplies the per-rack
+// template (and must be registered on the same FlagSet).
+func AddFleet(fs *flag.FlagSet, sharding *Sharding) *Fleet {
+	return &Fleet{
+		fs:       fs,
+		sharding: sharding,
+		racks: fs.Int("racks", 0,
+			"run the hybrid fleet model with this many racks (0 = single rack or flat model; hot racks run full DES, cold racks the analytic stand-in)"),
+		hot: fs.Int("hot-racks", 0,
+			"number of racks simulated with full DES (with -racks; 0 with no -hot-set = fully analytic fleet)"),
+		hotSet: fs.String("hot-set", "",
+			"comma list of hot rack ids, e.g. 3,9 (with -racks; default 0..hot-racks-1; ordering never changes results)"),
+		balancer: fs.String("balancer", "",
+			"fleet load-balancer policy: wrr (capacity-weighted round-robin, the default) or least-loaded (with -racks)"),
+	}
+}
+
+// Enabled reports whether the fleet model was selected.
+func (f *Fleet) Enabled() bool { return *f.racks > 0 }
+
+// parseHotSet splits the -hot-set comma list; membership rules are
+// validated downstream by FleetTopology.Normalize.
+func parseHotSet(v string) ([]int, error) {
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	ids := make([]int, len(parts))
+	for i, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-hot-set %q: entry %d is not a rack id", v, i)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Topology builds the fleet topology, nil when -racks was not given.
+// The rack flags provide the per-rack template; fleet-shape validation
+// happens in SimOptions.Normalize.
+func (f *Fleet) Topology() *cluster.FleetTopology {
+	if !f.Enabled() {
+		return nil
+	}
+	hotSet, err := parseHotSet(*f.hotSet)
+	if err != nil {
+		hotSet = nil // Validate reports the syntax error loudly
+	}
+	return &cluster.FleetTopology{
+		Racks:    *f.racks,
+		HotRacks: *f.hot,
+		HotSet:   hotSet,
+		Rack:     f.sharding.RackTemplate(),
+		Balancer: *f.balancer,
+	}
+}
+
+// Validate rejects fleet flags without -racks: -hot-racks, -hot-set,
+// and -balancer configure the fleet's balancer tier, which only exists
+// when -racks selects the fleet model (the same pattern as -shard-diag
+// without -shards). A malformed -hot-set fails here too.
+func (f *Fleet) Validate() error {
+	if !f.Enabled() {
+		if *f.hot != 0 {
+			return fmt.Errorf("-hot-racks %d needs the fleet model: pass -racks N (a single rack has no hot/cold split)", *f.hot)
+		}
+		if *f.hotSet != "" {
+			return fmt.Errorf("-hot-set %s needs the fleet model: pass -racks N (a single rack has no hot/cold split)", *f.hotSet)
+		}
+		if *f.balancer != "" {
+			return fmt.Errorf("-balancer %s needs the fleet model: pass -racks N (a single rack has no balancer tier)", *f.balancer)
+		}
+		return nil
+	}
+	if _, err := parseHotSet(*f.hotSet); err != nil {
 		return err
 	}
 	return nil

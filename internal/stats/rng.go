@@ -71,7 +71,7 @@ func (r *RNG) Split() *RNG {
 // constant, xor-folded into the base, and splitmix-mixed (via Seed), so
 // cells get decorrelated streams while any (base, i) pair reproduces the
 // same seed forever — the contract the deterministic parallel sweep
-// engine (experiments.RunCells) relies on when cells need their own
+// engine (experiments' runCells) relies on when cells need their own
 // randomness. Deriving from position, not from a shared RNG, is what
 // makes cell seeds independent of execution order.
 //
